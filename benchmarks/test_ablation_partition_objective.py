@@ -1,0 +1,93 @@
+"""Ablation (Section 3.2, Goal-1) — partitioner objective: minimise
+communication *volume* (boundary nodes, Eq. 3 — the paper's choice)
+vs the conventional edge-*cut* objective (DistDGL et al.) vs random.
+
+Expected shape: both METIS-like objectives produce far fewer boundary
+nodes than random; the volume objective is competitive-or-better on
+Eq. 3 volume (they are correlated heuristics, so parity within noise
+is acceptable); modelled vanilla epoch time tracks boundary volume.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    BENCH_CONFIGS,
+    format_table,
+    get_graph,
+    make_model,
+    save_result,
+)
+from repro.dist import RTX2080TI_CLUSTER, bns_epoch_model, build_workload
+from repro.nn.models import layer_dims
+from repro.partition import (
+    MetisLikeConfig,
+    communication_volume,
+    edge_cut,
+    metis_like_partition,
+    random_partition,
+)
+
+DATASET = "products-sim"
+NUM_PARTS = 8
+
+
+def analyse(name, partition):
+    cfg = BENCH_CONFIGS[name]
+    graph = get_graph(name)
+    model = make_model(graph, cfg)
+    dims = layer_dims(graph.feature_dim, cfg.hidden, graph.num_classes, cfg.num_layers)
+    w = build_workload(graph, partition, dims, model.num_parameters())
+    return {
+        "volume": communication_volume(graph.adj, partition),
+        "cut": edge_cut(graph.adj, partition.assignment),
+        "epoch_ms": 1e3 * bns_epoch_model(w, RTX2080TI_CLUSTER, 1.0).total,
+    }
+
+
+def run():
+    graph = get_graph(DATASET)
+    partitions = {
+        "metis/volume": metis_like_partition(
+            graph.adj, NUM_PARTS, MetisLikeConfig(objective="volume", seed=0)
+        ),
+        "metis/cut": metis_like_partition(
+            graph.adj, NUM_PARTS, MetisLikeConfig(objective="cut", seed=0)
+        ),
+        "random": random_partition(
+            graph.num_nodes, NUM_PARTS, np.random.default_rng(0)
+        ),
+    }
+    results = {k: analyse(DATASET, p) for k, p in partitions.items()}
+    rows = [
+        [k, r["volume"], r["cut"], f"{r['epoch_ms']:.3f}"]
+        for k, r in results.items()
+    ]
+    table = format_table(
+        ["partitioner", "comm volume (Eq.3)", "edge cut", "vanilla epoch (ms)"],
+        rows,
+        title=(
+            f"Ablation: partition objective on {DATASET} ({NUM_PARTS} parts) "
+            "(expected: both metis objectives << random; epoch tracks volume)"
+        ),
+    )
+    save_result("ablation_partition_objective", table)
+    return results
+
+
+def test_ablation_partition_objective(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Any structured partitioner beats random on both metrics.
+    for key in ("metis/volume", "metis/cut"):
+        assert results[key]["volume"] < results["random"]["volume"], key
+        assert results[key]["cut"] < results["random"]["cut"], key
+    # The volume objective is competitive on its own metric.  Both
+    # objectives are correlated greedy heuristics and the minimum-cut
+    # refinement sometimes edges ahead on dense graphs, so parity is
+    # asserted within 25% rather than strict dominance.
+    assert (
+        results["metis/volume"]["volume"]
+        <= results["metis/cut"]["volume"] * 1.25
+    )
+    # Epoch time ordering follows boundary volume.
+    ordered = sorted(results.values(), key=lambda r: r["volume"])
+    assert ordered[0]["epoch_ms"] <= ordered[-1]["epoch_ms"]

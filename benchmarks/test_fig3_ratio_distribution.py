@@ -1,0 +1,47 @@
+"""Figure 3 — distribution of boundary/inner ratios for the
+papers100M analogue under 192 partitions.
+
+Paper's observation: the ratio distribution is wide with a long right
+tail; the straggler partition sits at ratio ≈ 8 while the bulk sits
+much lower — the memory-imbalance motivation of Section 3.1.
+Expected shape: right-skewed distribution (mean > median is not
+guaranteed for every seed, but max >> median is).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, get_graph, get_partition, save_result
+from repro.partition import ratio_distribution
+
+
+def run():
+    graph = get_graph("papers-sim")
+    part = get_partition("papers-sim", 192, method="metis")
+    ratios = ratio_distribution(graph.adj, part)
+    hist, edges = np.histogram(ratios, bins=10)
+    rows = [
+        [f"{edges[i]:.2f}-{edges[i+1]:.2f}", int(hist[i]),
+         f"{100.0 * hist[i] / len(ratios):.1f}%"]
+        for i in range(len(hist))
+    ]
+    rows.append(["straggler (max)", f"{ratios.max():.2f}", ""])
+    rows.append(["median", f"{np.median(ratios):.2f}", ""])
+    table = format_table(
+        ["ratio bin", "# partitions", "percent"],
+        rows,
+        title=(
+            "Figure 3: boundary/inner ratio distribution, papers-sim, "
+            "192 partitions (paper: long right tail, straggler ~8)"
+        ),
+    )
+    save_result("fig3_ratio_distribution", table)
+    return ratios
+
+
+def test_fig3_ratio_distribution(benchmark):
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(ratios) == 192
+    # Long right tail: the straggler is far above the typical partition.
+    assert ratios.max() > 1.5 * np.median(ratios)
+    # Boundary sets dominate inner sets at this partition count.
+    assert np.median(ratios) > 1.0

@@ -1,0 +1,97 @@
+"""Figure 4 — training throughput (epochs/s) vs number of partitions:
+BNS-GCN (p ∈ {1, 0.1, 0.01}) against the ROC and CAGNET cost models.
+
+Paper's observations, which must reproduce in shape:
+  * BNS p=0.01 is fastest everywhere (paper: 8.9-16.2× over ROC,
+    9.2-13.8× over CAGNET c=2 on Reddit);
+  * even p=1 (vanilla partition parallelism done right) beats ROC and
+    CAGNET;
+  * BNS throughput *grows* with partitions while the baselines stall.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    BENCH_CONFIGS,
+    format_table,
+    get_graph,
+    get_partition,
+    make_model,
+    save_result,
+)
+from repro.dist import (
+    RTX2080TI_CLUSTER,
+    bns_epoch_model,
+    build_workload,
+    cagnet_epoch_model,
+    roc_epoch_model,
+)
+from repro.nn.models import layer_dims
+
+DATASETS = ("reddit-sim", "products-sim", "yelp-sim")
+
+
+def throughputs_for(name):
+    cfg = BENCH_CONFIGS[name]
+    graph = get_graph(name)
+    model = make_model(graph, cfg)
+    dims = layer_dims(graph.feature_dim, cfg.hidden, graph.num_classes, cfg.num_layers)
+    out = {}
+    for k in cfg.partition_grid:
+        part = get_partition(name, k, method="metis")
+        w = build_workload(graph, part, dims, model.num_parameters())
+        out[k] = {
+            "ROC": roc_epoch_model(w, RTX2080TI_CLUSTER).throughput,
+            "CAGNET (c=1)": cagnet_epoch_model(w, RTX2080TI_CLUSTER, 1).throughput,
+            "CAGNET (c=2)": cagnet_epoch_model(w, RTX2080TI_CLUSTER, 2).throughput,
+            "BNS (p=1.0)": bns_epoch_model(w, RTX2080TI_CLUSTER, 1.0).throughput,
+            "BNS (p=0.1)": bns_epoch_model(w, RTX2080TI_CLUSTER, 0.1).throughput,
+            "BNS (p=0.01)": bns_epoch_model(w, RTX2080TI_CLUSTER, 0.01).throughput,
+        }
+    return out
+
+
+def run():
+    results = {}
+    for name in DATASETS:
+        data = throughputs_for(name)
+        results[name] = data
+        systems = list(next(iter(data.values())).keys())
+        rows = [
+            [k] + [round(data[k][s], 2) for s in systems] for k in sorted(data)
+        ]
+        table = format_table(
+            ["#partitions"] + systems,
+            rows,
+            title=(
+                f"Figure 4 ({name}): modelled throughput in epochs/s "
+                "(paper: BNS p=0.01 fastest, gap grows with partitions)"
+            ),
+        )
+        save_result(f"fig4_throughput_{name}", table)
+    return results
+
+
+def test_fig4_throughput(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, data in results.items():
+        for k, row in data.items():
+            # BNS p=0.01 beats everything at every point.
+            best_baseline = max(row["ROC"], row["CAGNET (c=1)"], row["CAGNET (c=2)"])
+            assert row["BNS (p=0.01)"] > best_baseline, (name, k)
+            # Vanilla partition parallelism still beats ROC everywhere.
+            assert row["BNS (p=1.0)"] > row["ROC"], (name, k)
+            # Monotone in p.
+            assert row["BNS (p=0.01)"] >= row["BNS (p=0.1)"] >= row["BNS (p=1.0)"]
+        ks = sorted(data)
+        # Against CAGNET c=2 the paper reports 1.0×-5.5×: parity is
+        # allowed at the smallest partition count, a clear win at the
+        # largest (broadcast traffic doesn't shrink with k; boundary
+        # traffic per rank does).
+        assert data[ks[0]]["BNS (p=1.0)"] > 0.6 * data[ks[0]]["CAGNET (c=2)"], name
+        assert data[ks[-1]]["BNS (p=0.1)"] > data[ks[-1]]["CAGNET (c=2)"], name
+        # Paper reports 8.9-16.2x over ROC on Reddit; at laptop scale
+        # the latency/AllReduce floor caps absolute scaling, but the
+        # speedup factor must stay large.
+        best_over_roc = max(data[k]["BNS (p=0.01)"] / data[k]["ROC"] for k in ks)
+        assert best_over_roc > 4.0, (name, best_over_roc)

@@ -1,0 +1,67 @@
+"""Table 10 — epoch-time speedup of BNS on a 2-layer GAT, 10 partitions.
+
+Paper: p=0.1/0.01/0 speed GAT training up by 1.53-2.20× over p=1 —
+smaller factors than for GraphSAGE because GAT's per-edge attention
+makes compute a bigger share of the epoch.
+"""
+
+import numpy as np
+
+from repro.bench import BENCH_CONFIGS, format_table, get_graph, get_partition, save_result
+from repro.core import DistributedGATTrainer
+from repro.dist import RTX2080TI_CLUSTER
+from repro.nn import GATModel
+
+DATASETS = ("reddit-sim", "products-sim", "yelp-sim")
+P_VALUES = (1.0, 0.1, 0.01, 0.0)
+EPOCHS = 3
+NUM_PARTS = 10
+
+
+def epoch_seconds(name, p):
+    graph = get_graph(name)
+    part = get_partition(name, NUM_PARTS, method="metis")
+    model = GATModel(
+        graph.feature_dim, 16, graph.num_classes, num_layers=2, dropout=0.1,
+        rng=np.random.default_rng(7), num_heads=2,
+    )
+    trainer = DistributedGATTrainer(
+        graph, part, model, p=p, cluster=RTX2080TI_CLUSTER, seed=0
+    )
+    trainer.train(EPOCHS)
+    return float(np.mean([b.total for b in trainer.history.modeled]))
+
+
+def run():
+    results = {}
+    for name in DATASETS:
+        base = epoch_seconds(name, 1.0)
+        results[(name, 1.0)] = 1.0
+        for p in P_VALUES[1:]:
+            results[(name, p)] = base / epoch_seconds(name, p)
+    rows = [
+        [f"p = {p}"] + [f"{results[(name, p)]:.2f}x" for name in DATASETS]
+        for p in P_VALUES
+    ]
+    table = format_table(
+        ["BNS-GCN"] + list(DATASETS),
+        rows,
+        title=(
+            "Table 10: 2-layer GAT epoch-time speedup over p=1 "
+            f"({NUM_PARTS} partitions; paper: 1.53-2.20x for p<=0.1)"
+        ),
+    )
+    save_result("table10_gat", table)
+    return results
+
+
+def test_table10_gat(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in DATASETS:
+        # Speedups grow as p falls, topping out at p=0.
+        assert results[(name, 0.0)] >= results[(name, 0.01)] >= results[
+            (name, 0.1)
+        ] > 1.1, name
+        # Shape check: meaningful but not unbounded speedup (compute
+        # remains, unlike the pure-communication regime).
+        assert results[(name, 0.0)] < 50, name

@@ -1,0 +1,115 @@
+"""Table 11 — per-epoch training time: BNS (8 partitions) vs the
+sampling-based methods on the Reddit analogue.
+
+Paper: BNS p=1 is already 8× faster per epoch than GraphSAGE neighbour
+sampling; p=0.01 reaches 41×.  Distributed epochs are modelled with the
+cluster cost model; baselines with the same device model (FLOPs +
+sampler ops), so the comparison axis is consistent.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    ClusterGCNTrainer,
+    FastGCNTrainer,
+    NeighborSamplingTrainer,
+    VRGCNTrainer,
+)
+from repro.bench import (
+    BENCH_CONFIGS,
+    baseline_epoch_seconds,
+    format_table,
+    get_graph,
+    make_model,
+    run_config_cached,
+    save_result,
+)
+from repro.nn import GCNModel
+
+DATASET = "reddit-sim"
+NUM_PARTS = 8
+BASELINE_EPOCHS = 3
+# The paper's baselines run ~150 minibatches per Reddit epoch
+# (153k train nodes / DGL's 1024 batch).  Batch sizes here scale with
+# the 1/30-size analogue so the per-epoch batch count — what drives
+# neighbour-sampling's recomputation penalty — keeps the same shape.
+BATCH = 64
+
+
+def baseline_epoch(ctor, model_kind="sage"):
+    cfg = BENCH_CONFIGS[DATASET]
+    graph = get_graph(DATASET)
+    if model_kind == "gcn":
+        model = GCNModel(
+            graph.feature_dim, cfg.hidden, graph.num_classes, cfg.num_layers,
+            cfg.dropout, np.random.default_rng(7),
+        )
+    else:
+        model = make_model(graph, cfg, seed=7)
+    trainer = ctor(graph, model)
+    trainer.train(BASELINE_EPOCHS)
+    h = trainer.history
+    return float(
+        np.mean(
+            [
+                baseline_epoch_seconds(f, e)
+                for f, e in zip(h.compute_flops, h.sampler_edges)
+            ]
+        )
+    )
+
+
+def run():
+    cfg = BENCH_CONFIGS[DATASET]
+    times = {}
+    times["GraphSAGE (NS)"] = baseline_epoch(
+        lambda g, m: NeighborSamplingTrainer(g, m, fanout=10, batch_size=BATCH, seed=0)
+    )
+    times["FastGCN"] = baseline_epoch(
+        lambda g, m: FastGCNTrainer(g, m, layer_size=256, batch_size=BATCH, seed=0),
+        model_kind="gcn",
+    )
+    times["VR-GCN"] = baseline_epoch(
+        lambda g, m: VRGCNTrainer(g, m, fanout=2, batch_size=BATCH, seed=0)
+    )
+    times["ClusterGCN"] = baseline_epoch(
+        lambda g, m: ClusterGCNTrainer(
+            g, m, num_clusters=64, clusters_per_batch=2, seed=0
+        )
+    )
+    for p in (1.0, 0.1, 0.01):
+        times[f"BNS-GCN ({p})"] = run_config_cached(DATASET, NUM_PARTS, p).epoch_seconds
+    ns = times["GraphSAGE (NS)"]
+    rows = [
+        [name, f"{t * 1e3:.3f} ms", f"{ns / t:.1f}x"] for name, t in times.items()
+    ]
+    table = format_table(
+        ["Method", "epoch time (modelled)", "speedup vs GraphSAGE-NS"],
+        rows,
+        title=(
+            f"Table 11 ({DATASET}, {NUM_PARTS} partitions): "
+            "(paper: BNS p=1 8x, p=0.1 31x, p=0.01 41x over GraphSAGE)"
+        ),
+    )
+    save_result("table11_sampler_efficiency", table)
+    return times
+
+
+def test_table11_sampler_efficiency(benchmark):
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The node-sampling family (the neighbour-explosion story) is
+    # slower than every BNS variant, as in the paper.
+    bns_slowest = times["BNS-GCN (1.0)"]
+    for b in ("GraphSAGE (NS)", "VR-GCN"):
+        assert bns_slowest < times[b], b
+    # Sampled BNS beats every baseline.  (In the paper even p=1 wins
+    # against FastGCN/ClusterGCN; at 1/30 scale the fixed-latency
+    # share of the comm model inflates the unsampled epoch — the
+    # known calibration artifact of DESIGN.md §2.2 — so the dominance
+    # claim is asserted at the paper's recommended rates.)
+    for b in ("GraphSAGE (NS)", "FastGCN", "VR-GCN", "ClusterGCN"):
+        assert times["BNS-GCN (0.01)"] < times[b], b
+    # Speedup grows as p falls.
+    assert times["BNS-GCN (0.01)"] <= times["BNS-GCN (0.1)"] <= bns_slowest
+    # Order-of-magnitude advantage over neighbour sampling at p=0.01.
+    assert times["GraphSAGE (NS)"] / times["BNS-GCN (0.01)"] > 5.0

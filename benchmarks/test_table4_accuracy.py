@@ -1,0 +1,62 @@
+"""Table 4 — full-graph test accuracy of BNS-GCN across sampling rates
+and partition counts, vs the sampling-based baselines.
+
+Paper's observations to reproduce in shape:
+  * p = 1 (full-graph) matches or beats every sampling-based method;
+  * p = 0.1 and p = 0.01 maintain the full-graph score (small deltas);
+  * p = 0 (isolated training) is consistently the worst BNS setting;
+  * scores are stable across partition counts.
+
+Scores here are on the synthetic analogues, so absolute values differ
+from the paper; orderings and deltas are the reproduction target.
+"""
+
+import numpy as np
+
+from repro.bench import BENCH_CONFIGS, format_table, run_config_cached, save_result
+
+DATASETS = ("reddit-sim", "products-sim", "yelp-sim")
+P_VALUES = (1.0, 0.1, 0.01, 0.0)
+
+
+def run():
+    results = {}
+    for name in DATASETS:
+        grid = BENCH_CONFIGS[name].partition_grid
+        scores = {}
+        for p in P_VALUES:
+            for k in grid:
+                scores[(p, k)] = run_config_cached(name, k, p).test_score
+        results[name] = scores
+        rows = [
+            [f"p = {p}"] + [round(scores[(p, k)] * 100, 2) for k in grid]
+            for p in P_VALUES
+        ]
+        table = format_table(
+            ["BNS-GCN"] + [f"{k} parts" for k in grid],
+            rows,
+            title=(
+                f"Table 4 ({name}): test score (%) at best val epoch "
+                "(paper: p=0.1/0.01 maintain the p=1 score; p=0 worst)"
+            ),
+        )
+        save_result(f"table4_accuracy_{name}", table)
+    return results
+
+
+def test_table4_accuracy(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, scores in results.items():
+        grid = BENCH_CONFIGS[name].partition_grid
+        for k in grid:
+            full = scores[(1.0, k)]
+            # Moderate sampling maintains accuracy (within a few points
+            # at laptop scale / shorter training).
+            assert scores[(0.1, k)] > full - 0.08, (name, k)
+            # p = 0 never beats moderate sampling by a real margin.
+            assert scores[(0.0, k)] <= scores[(0.1, k)] + 0.03, (name, k)
+        # Aggregate ordering: mean over partition counts puts p=0 last.
+        means = {
+            p: np.mean([scores[(p, k)] for k in grid]) for p in (1.0, 0.1, 0.01, 0.0)
+        }
+        assert means[0.0] <= min(means[1.0], means[0.1]) + 0.01, name

@@ -1,0 +1,109 @@
+"""Table 9 — BNS vs DropEdge vs Boundary Edge Sampling (BES) at a
+MATCHED number of dropped edges.
+
+Paper: with all methods dropping the same edge count as BNS p=0.1,
+DropEdge/BES still communicate 7-10× more than BNS (many boundary
+edges share a boundary node — dropping edges rarely frees a node), so
+BNS trains up to 2.4× faster at equal accuracy.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    BENCH_CONFIGS,
+    format_table,
+    get_graph,
+    get_partition,
+    make_model,
+    save_result,
+)
+from repro.core import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    DistributedTrainer,
+    DropEdgeSampler,
+    PartitionRuntime,
+)
+from repro.dist import RTX2080TI_CLUSTER
+
+CASES = {  # dataset -> partition count (paper's minimal full-graph setup)
+    "reddit-sim": 2,
+    "products-sim": 5,
+    "yelp-sim": 3,
+}
+P = 0.1
+EPOCHS = 40
+
+
+def run_one(name, k, sampler):
+    cfg = BENCH_CONFIGS[name]
+    graph = get_graph(name)
+    part = get_partition(name, k, method="metis")
+    model = make_model(graph, cfg, seed=7)
+    trainer = DistributedTrainer(
+        graph, part, model, sampler, lr=cfg.lr, seed=0, cluster=RTX2080TI_CLUSTER
+    )
+    history = trainer.train(EPOCHS, eval_every=max(EPOCHS // 4, 1))
+    return {
+        "comm_mb": float(np.mean(history.comm_bytes)) / 1e6,
+        "epoch_s": float(np.mean([b.total for b in history.modeled])),
+        "test": history.test_at_best_val(),
+    }
+
+
+def run():
+    results = {}
+    rows = []
+    for name, k in CASES.items():
+        graph = get_graph(name)
+        part = get_partition(name, k, method="metis")
+        runtime = PartitionRuntime(graph, part)
+        bd_edges = sum(r.a_bd.nnz for r in runtime.ranks)
+        total_edges = sum(r.a_in.nnz + r.a_bd.nnz for r in runtime.ranks)
+        dropped = (1 - P) * bd_edges
+        # DropEdge spreads the same dropped-edge budget over ALL edges.
+        q_dropedge = max(1.0 - dropped / total_edges, 0.0)
+        for label, sampler in (
+            ("DropEdge", DropEdgeSampler(q_dropedge)),
+            ("BES", BoundaryEdgeSampler(P)),
+            ("BNS-GCN", BoundaryNodeSampler(P)),
+        ):
+            r = run_one(name, k, sampler)
+            results[(name, label)] = r
+            rows.append(
+                [
+                    f"{name} ({k} parts)", label,
+                    f"{r['comm_mb']:.2f}", f"{1e3 * r['epoch_s']:.3f}",
+                    f"{100 * r['test']:.2f}",
+                ]
+            )
+    table = format_table(
+        ["dataset", "method", "epoch comm (MB)", "epoch time (ms)", "test score (%)"],
+        rows,
+        title=(
+            "Table 9: edge sampling vs BNS at matched dropped edges "
+            "(paper: DropEdge/BES need 7-10x BNS's communication)"
+        ),
+    )
+    save_result("table9_edge_sampling", table)
+    return results
+
+
+def test_table9_edge_sampling(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in CASES:
+        bns = results[(name, "BNS-GCN")]
+        bes = results[(name, "BES")]
+        de = results[(name, "DropEdge")]
+        # The headline: edge sampling barely reduces node traffic.
+        # Paper: 7-10x on Reddit; the factor shrinks with graph density
+        # (paper's own Yelp column is 2.6x), so the sparse yelp
+        # analogue is asserted at a lower floor.
+        floor = 1.3 if name == "yelp-sim" else 2.0
+        assert bes["comm_mb"] > floor * bns["comm_mb"], name
+        assert de["comm_mb"] > 2.0 * bns["comm_mb"], name
+        # Which translates into slower epochs.
+        assert bns["epoch_s"] < bes["epoch_s"], name
+        assert bns["epoch_s"] < de["epoch_s"], name
+        # At comparable accuracy.
+        assert bns["test"] > max(bes["test"], de["test"]) - 0.06, name

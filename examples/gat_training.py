@@ -1,0 +1,57 @@
+"""Distributed GAT with boundary node sampling (Table 10 live).
+
+BNS is model-agnostic: for attention models a dropped boundary node
+simply removes its cross-partition edges and the per-destination
+softmax renormalises.  This example trains a 2-layer, 2-head GAT under
+several sampling rates and reports accuracy + modelled epoch speedup.
+
+Usage:  python examples/gat_training.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistributedGATTrainer,
+    GATModel,
+    RTX2080TI_CLUSTER,
+    load_dataset,
+    partition_graph,
+)
+
+EPOCHS = 60
+
+
+def main():
+    graph = load_dataset("reddit-sim", scale=0.2, seed=0)
+    partition = partition_graph(graph, 4, method="metis", seed=0)
+    print(f"graph: {graph}\n")
+
+    base_epoch = None
+    print(f"{'p':>6} {'test acc':>9} {'epoch (model)':>14} {'speedup':>8}")
+    for p in (1.0, 0.1, 0.01, 0.0):
+        model = GATModel(
+            graph.feature_dim, hidden_dim=16, out_dim=graph.num_classes,
+            num_layers=2, dropout=0.2, rng=np.random.default_rng(7), num_heads=2,
+        )
+        trainer = DistributedGATTrainer(
+            graph, partition, model, p=p, lr=0.01, seed=0,
+            cluster=RTX2080TI_CLUSTER,
+        )
+        history = trainer.train(EPOCHS, eval_every=15)
+        epoch_s = float(np.mean([b.total for b in history.modeled]))
+        if base_epoch is None:
+            base_epoch = epoch_s
+        print(
+            f"{p:>6} {history.test_at_best_val():>9.3f} "
+            f"{1e3 * epoch_s:>12.2f}ms {base_epoch / epoch_s:>7.2f}x"
+        )
+
+    print(
+        "\nShape (paper Table 10): speedup grows as p falls (1.5-2.2x), "
+        "less dramatic than SAGE because attention compute dilutes the "
+        "communication share; accuracy holds for moderate p."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Composing BNS with pipelined (PipeGCN-style) partition parallelism.
+
+The paper notes that boundary node sampling "can be easily plugged
+into any partition-parallel training method" (Section 3.2).  This
+example composes the two orthogonal axes on a Reddit-like graph:
+
+* exchange discipline — synchronous (Algorithm 1) vs pipelined
+  (staleness-1 boundary features; communication hides behind compute);
+* boundary sampling — p = 1 (vanilla) vs p = 0.1 (the recommended rate).
+
+For each of the four combinations it reports the modelled epoch time
+on the paper's RTX-2080Ti testbed and the achieved test accuracy,
+showing that the speedups compose while accuracy holds.
+
+Usage:  python examples/pipelined_training.py
+"""
+
+import numpy as np
+
+from repro import (
+    BoundaryNodeSampler,
+    DistributedTrainer,
+    FullBoundarySampler,
+    GraphSAGEModel,
+    PipelinedTrainer,
+    RTX2080TI_CLUSTER,
+    load_dataset,
+    partition_graph,
+)
+
+EPOCHS = 120
+NUM_PARTS = 8
+
+
+def make_model(graph, seed=7):
+    return GraphSAGEModel(
+        in_dim=graph.feature_dim,
+        hidden_dim=64,
+        out_dim=graph.num_classes,
+        num_layers=2,
+        dropout=0.5,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def run(trainer_cls, sampler, graph, partition, label):
+    trainer = trainer_cls(
+        graph, partition, make_model(graph), sampler,
+        lr=0.01, seed=0, cluster=RTX2080TI_CLUSTER,
+    )
+    history = trainer.train(EPOCHS, eval_every=EPOCHS // 4)
+    epoch_ms = 1e3 * float(np.mean([b.total for b in history.modeled]))
+    comm_mb = float(np.mean(history.comm_bytes)) / 1e6
+    print(
+        f"  {label:<26} epoch {epoch_ms:7.3f} ms   "
+        f"comm {comm_mb:6.2f} MB   test acc {history.test_at_best_val():.4f}"
+    )
+    return epoch_ms
+
+
+def main():
+    graph = load_dataset("reddit-sim", scale=0.25, seed=0)
+    partition = partition_graph(graph, NUM_PARTS, method="metis", seed=0)
+    print(f"graph: {graph}")
+    print(f"partitions: {NUM_PARTS} (METIS-like, volume objective)\n")
+
+    print("variant                      modelled epoch / metered comm / accuracy")
+    base = run(DistributedTrainer, FullBoundarySampler(), graph, partition,
+               "sync, p=1 (vanilla)")
+    bns = run(DistributedTrainer, BoundaryNodeSampler(0.1), graph, partition,
+              "sync + BNS p=0.1")
+    pipe = run(PipelinedTrainer, FullBoundarySampler(), graph, partition,
+               "pipelined, p=1")
+    both = run(PipelinedTrainer, BoundaryNodeSampler(0.1), graph, partition,
+               "pipelined + BNS p=0.1")
+
+    print(
+        f"\nspeedups over vanilla: BNS {base / bns:.2f}x, "
+        f"pipelining {base / pipe:.2f}x, composed {base / both:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

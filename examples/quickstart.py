@@ -1,0 +1,89 @@
+"""Quickstart: partition a graph, train BNS-GCN, compare to full-graph.
+
+Runs in well under a minute on a laptop.  What it shows:
+
+1. generate a synthetic Reddit-like graph,
+2. partition it with the METIS-like partitioner (minimising the
+   communication volume of Eq. 3),
+3. train a GraphSAGE model with partition-parallelism and boundary
+   node sampling (p = 0.1, the paper's recommended rate),
+4. report accuracy, per-epoch communication, and the modelled epoch
+   time against unsampled (p = 1) training.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BoundaryNodeSampler,
+    DistributedTrainer,
+    FullBoundarySampler,
+    GraphSAGEModel,
+    RTX2080TI_CLUSTER,
+    load_dataset,
+    partition_graph,
+)
+from repro.partition import partition_stats
+
+
+def make_model(graph, seed=7):
+    return GraphSAGEModel(
+        in_dim=graph.feature_dim,
+        hidden_dim=64,
+        out_dim=graph.num_classes,
+        num_layers=2,
+        dropout=0.5,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def main():
+    # 1. Data: a scaled-down Reddit analogue (dense, 41 classes).
+    graph = load_dataset("reddit-sim", scale=0.25, seed=0)
+    print(f"graph: {graph}")
+
+    # 2. Partition into 4 parts, minimising boundary nodes.
+    partition = partition_graph(graph, num_parts=4, method="metis", seed=0)
+    stats = partition_stats(graph.adj, partition)
+    print(
+        f"partition: sizes={stats.inner_sizes.tolist()} "
+        f"boundary={stats.boundary_sizes.tolist()} "
+        f"comm volume (Eq.3)={stats.comm_volume}"
+    )
+
+    # 3. Train with BNS at p = 0.1 and with p = 1 for comparison.
+    results = {}
+    for label, sampler in (
+        ("BNS p=0.1", BoundaryNodeSampler(0.1)),
+        ("vanilla p=1", FullBoundarySampler()),
+    ):
+        model = make_model(graph)
+        trainer = DistributedTrainer(
+            graph, partition, model, sampler,
+            lr=0.01, seed=0, cluster=RTX2080TI_CLUSTER,
+        )
+        history = trainer.train(epochs=100, eval_every=25)
+        results[label] = {
+            "test": history.test_at_best_val(),
+            "comm_mb": np.mean(history.comm_bytes) / 1e6,
+            "epoch_ms": 1e3 * np.mean([b.total for b in history.modeled]),
+        }
+
+    # 4. Report.
+    print(f"\n{'config':<14} {'test acc':>9} {'comm/epoch':>11} {'epoch (modelled)':>17}")
+    for label, r in results.items():
+        print(
+            f"{label:<14} {r['test']:>8.3f} {r['comm_mb']:>9.2f}MB "
+            f"{r['epoch_ms']:>15.2f}ms"
+        )
+    speedup = results["vanilla p=1"]["epoch_ms"] / results["BNS p=0.1"]["epoch_ms"]
+    saving = 1 - results["BNS p=0.1"]["comm_mb"] / results["vanilla p=1"]["comm_mb"]
+    print(
+        f"\nBNS p=0.1: {speedup:.1f}x modelled speedup, "
+        f"{100 * saving:.0f}% less communication, same-ballpark accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""BNS-GCN reproduction (MLSys 2022).
+
+Partition-parallel full-graph GCN training with random boundary-node
+sampling, built from scratch on numpy/scipy: autograd engine, GNN
+layers, METIS-like partitioner, metered communication simulation,
+cost/memory models, the BNS/BES/DropEdge samplers, and the
+sampling-based training baselines the paper compares against.
+
+Quickstart::
+
+    from repro import (load_dataset, partition_graph, GraphSAGEModel,
+                       BoundaryNodeSampler, DistributedTrainer)
+    import numpy as np
+
+    g = load_dataset("reddit-sim", scale=0.25)
+    part = partition_graph(g, num_parts=4)
+    model = GraphSAGEModel(g.feature_dim, 64, g.num_classes,
+                           num_layers=2, dropout=0.5,
+                           rng=np.random.default_rng(0))
+    trainer = DistributedTrainer(g, part, model, BoundaryNodeSampler(0.1))
+    trainer.train(epochs=100, eval_every=10)
+    print(trainer.evaluate())
+"""
+
+from .graph import Graph, load_dataset, generate_graph, SyntheticSpec
+from .partition import (
+    partition_graph,
+    metis_like_partition,
+    random_partition,
+    PartitionResult,
+    partition_stats,
+)
+from .nn import GraphSAGEModel, GCNModel, GATModel, Adam, SGD
+from .core import (
+    BoundaryNodeSampler,
+    BoundaryEdgeSampler,
+    DropEdgeSampler,
+    FullBoundarySampler,
+    DistributedTrainer,
+    DistributedGATTrainer,
+    PipelinedTrainer,
+    PartitionRuntime,
+)
+from .baselines import FullGraphTrainer
+from .dist import (
+    SimulatedCommunicator,
+    RTX2080TI_CLUSTER,
+    V100_MULTI_MACHINE,
+    MemoryModel,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Graph",
+    "load_dataset",
+    "generate_graph",
+    "SyntheticSpec",
+    "partition_graph",
+    "metis_like_partition",
+    "random_partition",
+    "PartitionResult",
+    "partition_stats",
+    "GraphSAGEModel",
+    "GCNModel",
+    "GATModel",
+    "Adam",
+    "SGD",
+    "BoundaryNodeSampler",
+    "BoundaryEdgeSampler",
+    "DropEdgeSampler",
+    "FullBoundarySampler",
+    "DistributedTrainer",
+    "DistributedGATTrainer",
+    "PipelinedTrainer",
+    "PartitionRuntime",
+    "FullGraphTrainer",
+    "SimulatedCommunicator",
+    "RTX2080TI_CLUSTER",
+    "V100_MULTI_MACHINE",
+    "MemoryModel",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Sampling-based GCN training baselines (Tables 4, 5, 11, 12)."""
+
+from .base import BaselineHistory, MiniBatchTrainer
+from .full import FullGraphTrainer
+from .neighbor import NeighborSamplingTrainer
+from .fastgcn import FastGCNTrainer
+from .ladies import LadiesTrainer
+from .clustergcn import ClusterGCNTrainer
+from .graphsaint import GraphSaintTrainer, SAMPLERS
+from .vrgcn import VRGCNTrainer
+
+__all__ = [
+    "BaselineHistory",
+    "MiniBatchTrainer",
+    "FullGraphTrainer",
+    "NeighborSamplingTrainer",
+    "FastGCNTrainer",
+    "LadiesTrainer",
+    "ClusterGCNTrainer",
+    "GraphSaintTrainer",
+    "SAMPLERS",
+    "VRGCNTrainer",
+]

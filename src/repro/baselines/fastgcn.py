@@ -1,0 +1,87 @@
+"""FastGCN (Chen et al., 2018a): layer-wise importance sampling.
+
+Each layer's node set is drawn i.i.d. from a *global* importance
+distribution q(u) ∝ ||P[:, u]||² (column norms of the propagation
+matrix), independent of the layer above — cheap, but the disconnect
+between consecutive layers produces sparse blocks and the highest
+estimator variance of the compared methods (Table 2), which is why its
+accuracy trails in Table 4.
+
+Follows the original work in using GCN-style (sym-norm) propagation;
+kept-column entries are rescaled by 1/(s·q(u)) for unbiasedness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.propagation import sym_norm
+from ..tensor import SparseOp, Tensor, relu
+from .base import MiniBatchTrainer
+
+__all__ = ["FastGCNTrainer"]
+
+
+class FastGCNTrainer(MiniBatchTrainer):
+    """Layer-sampled GCN training with global importance weights."""
+
+    name = "fastgcn"
+
+    def __init__(self, graph, model, layer_size: int = 256, **kwargs) -> None:
+        kwargs.setdefault("aggregation", "sym")
+        super().__init__(graph, model, **kwargs)
+        if layer_size < 1:
+            raise ValueError("layer_size must be >= 1")
+        self.layer_size = layer_size
+        self._p = sym_norm(graph.adj).csr
+        col_norms = np.asarray(self._p.multiply(self._p).sum(axis=0)).ravel()
+        total = col_norms.sum()
+        if total <= 0:
+            raise ValueError("propagation matrix has no mass")
+        self._q = col_norms / total
+
+    def train_step(self, batch: np.ndarray) -> float:
+        t0 = time.perf_counter()
+        num_layers = self.model.num_layers
+        n = self.graph.num_nodes
+        sets: List[np.ndarray] = [batch]  # S_L at index 0, building downwards
+        for _ in range(num_layers):
+            s = min(self.layer_size, n)
+            sampled = self.rng.choice(n, size=s, replace=False, p=self._q)
+            sets.append(np.unique(sampled))
+        # edges touched: one pass over the rows of each sampled block.
+        edges = float(
+            sum(self._p[dst].nnz for dst in sets[:-1])
+        )
+        self._record_sampling(time.perf_counter() - t0, edges)
+
+        # Forward input-to-output: layer ℓ maps S_{ℓ-1} -> S_ℓ,
+        # i.e. block index num_layers-1-layer_idx in `sets`.
+        dims = self.model.dims
+        h = Tensor(self.graph.features[sets[-1]])
+        for layer_idx, layer in enumerate(self.model.layers):
+            dst = sets[num_layers - 1 - layer_idx]
+            src = sets[num_layers - layer_idx]
+            # Unbiased column-sampled operator: Ẑ = Σ_u P[:,u]·h_u/(s·q_u).
+            block = self._p[dst][:, src].tocsr() @ sp.diags(
+                1.0 / (len(src) * np.maximum(self._q[src], 1e-12))
+            )
+            h = self.model.dropout(h, self.dropout_rng)
+            out = layer(SparseOp(block), h, None)
+            if layer_idx < num_layers - 1:
+                out = relu(out)
+            d_in, d_out = dims[layer_idx], dims[layer_idx + 1]
+            self._record_flops(
+                3.0 * (2.0 * block.nnz * d_in + 2.0 * len(dst) * d_in * d_out)
+            )
+            h = out
+
+        loss = self._loss(h, self.graph.labels[batch])
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()

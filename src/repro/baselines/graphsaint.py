@@ -1,0 +1,146 @@
+"""GraphSAINT (Zeng et al., 2020): sampled-subgraph training.
+
+Three samplers from the paper are implemented — node, edge and random
+walk — all producing a node set whose induced subgraph is trained on
+with a full forward pass.  Sampling probabilities follow the original:
+
+* node sampler — p(v) ∝ deg(v),
+* edge sampler — p(e) ∝ 1/deg(u) + 1/deg(v), endpoints collected,
+* random-walk sampler — `roots` walkers of length `walk_length`.
+
+The induced mean aggregator is renormalised over surviving neighbours
+(the same self-normalised estimator BNS uses), and the loss is averaged
+over the subgraph's training nodes.  The full importance-normalisation
+coefficients of the original are approximated by this renormalisation —
+adequate for the accuracy/time *shape* reproduced here and documented
+in DESIGN.md.
+
+The per-step sampler cost (edges touched) feeds Table 12, where
+GraphSAINT's own measurements attribute 20-24% of training time to
+sampling.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..graph.propagation import row_normalise
+from ..tensor import SparseOp, Tensor, gather_rows, relu
+from .base import MiniBatchTrainer
+
+__all__ = ["GraphSaintTrainer", "SAMPLERS"]
+
+
+def _node_sampler(trainer: "GraphSaintTrainer") -> tuple:
+    """Sample ``budget`` nodes with probability ∝ degree."""
+    n = trainer.graph.num_nodes
+    probs = trainer._deg / trainer._deg.sum()
+    nodes = trainer.rng.choice(n, size=min(trainer.budget, n), replace=False, p=probs)
+    return np.unique(nodes), float(trainer._deg[nodes].sum())
+
+
+def _edge_sampler(trainer: "GraphSaintTrainer") -> tuple:
+    """Sample edges with p(e) ∝ 1/deg(u)+1/deg(v); keep endpoints."""
+    coo = trainer.graph.adj.tocoo()
+    inv_deg = 1.0 / np.maximum(trainer._deg, 1)
+    w = inv_deg[coo.row] + inv_deg[coo.col]
+    w = w / w.sum()
+    m = min(trainer.budget // 2, coo.nnz)
+    picked = trainer.rng.choice(coo.nnz, size=m, replace=False, p=w)
+    nodes = np.unique(np.concatenate([coo.row[picked], coo.col[picked]]))
+    return nodes, float(coo.nnz)
+
+
+def _rw_sampler(trainer: "GraphSaintTrainer") -> tuple:
+    """`roots` random walks of length `walk_length`."""
+    g = trainer.graph
+    indptr, indices = g.adj.indptr, g.adj.indices
+    roots = trainer.rng.choice(
+        g.num_nodes, size=max(trainer.budget // (trainer.walk_length + 1), 1), replace=False
+    )
+    visited = [roots]
+    current = roots
+    steps = 0.0
+    for _ in range(trainer.walk_length):
+        nxt = current.copy()
+        for i, v in enumerate(current):
+            deg = indptr[v + 1] - indptr[v]
+            if deg > 0:
+                nxt[i] = indices[indptr[v] + trainer.rng.integers(deg)]
+        steps += len(current)
+        visited.append(nxt)
+        current = nxt
+    nodes = np.unique(np.concatenate(visited))
+    return nodes, steps
+
+
+SAMPLERS: dict = {
+    "node": _node_sampler,
+    "edge": _edge_sampler,
+    "rw": _rw_sampler,
+}
+
+
+class GraphSaintTrainer(MiniBatchTrainer):
+    """Subgraph-sampled SAGE training with pluggable samplers."""
+
+    name = "graphsaint"
+
+    def __init__(
+        self,
+        graph,
+        model,
+        sampler: str = "node",
+        budget: int = 1000,
+        walk_length: int = 4,
+        **kwargs,
+    ) -> None:
+        super().__init__(graph, model, **kwargs)
+        if sampler not in SAMPLERS:
+            raise ValueError(f"unknown sampler {sampler!r}; known: {sorted(SAMPLERS)}")
+        self.sampler_name = sampler
+        self.budget = budget
+        self.walk_length = walk_length
+        self._deg = graph.degrees().astype(np.float64)
+        self._sampler: Callable = SAMPLERS[sampler]
+
+    # ------------------------------------------------------------------
+    def _batches(self):
+        """One epoch = enough subgraphs to cover the train set once."""
+        steps = max(1, int(np.ceil(len(self.train_nodes) / self.budget)))
+        for _ in range(steps):
+            yield None  # the sampler draws the subgraph in train_step
+
+    def train_step(self, _unused) -> float:
+        t0 = time.perf_counter()
+        nodes, edges_touched = self._sampler(self)
+        sub_adj = self.graph.adj[nodes][:, nodes].tocsr()
+        prop = row_normalise(sub_adj)
+        self._record_sampling(time.perf_counter() - t0, edges_touched + sub_adj.nnz)
+
+        train_local = np.flatnonzero(self.graph.train_mask[nodes])
+        if train_local.size == 0:
+            return float("nan")
+
+        dims = self.model.dims
+        h = Tensor(self.graph.features[nodes])
+        for layer_idx, layer in enumerate(self.model.layers):
+            h = self.model.dropout(h, self.dropout_rng)
+            out = layer(SparseOp(prop), h, h)
+            if layer_idx < self.model.num_layers - 1:
+                out = relu(out)
+            d_in, d_out = dims[layer_idx], dims[layer_idx + 1]
+            self._record_flops(
+                3.0 * (2.0 * prop.nnz * d_in + 4.0 * len(nodes) * d_in * d_out)
+            )
+            h = out
+
+        logits = gather_rows(h, train_local)
+        loss = self._loss(logits, self.graph.labels[nodes[train_local]])
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()

@@ -1,0 +1,131 @@
+"""GraphSAGE neighbour sampling (Hamilton et al., 2017).
+
+Per minibatch, the computation graph is built output-to-input: the
+batch's layer-L destination set pulls ``fanout`` sampled neighbours per
+node per layer, producing nested node sets B_L ⊆ B_{L-1} ⊆ ... ⊆ B_0
+and bipartite mean-aggregation blocks between consecutive sets.  The
+sample mean over the chosen neighbours estimates the full-neighbourhood
+mean (the same self-normalised estimator BNS uses on its subgraph).
+
+This is the "NeighborSampling" row of Tables 4/5/11 and the classic
+victim of *neighbour explosion*: |B_0| grows ~fanout^L, which the
+recorded FLOPs make visible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import SparseOp, Tensor, gather_rows, relu
+from .base import MiniBatchTrainer
+
+__all__ = ["NeighborSamplingTrainer"]
+
+
+class NeighborSamplingTrainer(MiniBatchTrainer):
+    """Minibatch SAGE training with per-layer neighbour fan-out."""
+
+    name = "neighbor-sampling"
+
+    def __init__(self, graph, model, fanout: int = 10, **kwargs) -> None:
+        super().__init__(graph, model, **kwargs)
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.fanout = fanout
+        self._adj = graph.adj
+
+    # ------------------------------------------------------------------
+    def _sample_block(
+        self, dst: np.ndarray
+    ) -> Tuple[np.ndarray, sp.csr_matrix, np.ndarray, float]:
+        """Sample ``fanout`` neighbours for each dst node.
+
+        Returns ``(src_nodes, prop_block, self_positions, edges_touched)``
+        where ``prop_block`` is (|dst|, |src|) with rows summing to 1
+        over the sampled neighbours, and ``self_positions`` locates each
+        dst node inside ``src_nodes`` (for the SAGE self-concat).
+        """
+        indptr, indices = self._adj.indptr, self._adj.indices
+        rows: List[int] = []
+        cols: List[np.ndarray] = []
+        sampled_per_row: List[np.ndarray] = []
+        edges_touched = 0.0
+        for r, v in enumerate(dst):
+            neigh = indices[indptr[v]:indptr[v + 1]]
+            edges_touched += len(neigh)
+            if len(neigh) == 0:
+                sampled_per_row.append(np.empty(0, dtype=np.int64))
+                continue
+            if len(neigh) > self.fanout:
+                pick = self.rng.choice(neigh, size=self.fanout, replace=False)
+            else:
+                pick = neigh
+            sampled_per_row.append(pick)
+        # Source set: dst nodes (for self features) + every sampled node.
+        all_sampled = (
+            np.concatenate(sampled_per_row) if sampled_per_row else np.empty(0, int)
+        )
+        src_nodes, inverse = np.unique(
+            np.concatenate([dst, all_sampled]), return_inverse=True
+        )
+        self_positions = inverse[: len(dst)]
+        # Build the (|dst|, |src|) block.
+        data, r_idx, c_idx = [], [], []
+        offset = len(dst)
+        for r, pick in enumerate(sampled_per_row):
+            if len(pick) == 0:
+                continue
+            w = 1.0 / len(pick)
+            for _ in pick:
+                r_idx.append(r)
+            c_idx.extend(inverse[offset:offset + len(pick)])
+            data.extend([w] * len(pick))
+            offset += len(pick)
+        block = sp.coo_matrix(
+            (data, (r_idx, c_idx)), shape=(len(dst), len(src_nodes))
+        ).tocsr()
+        return src_nodes, block, self_positions, edges_touched
+
+    # ------------------------------------------------------------------
+    def train_step(self, batch: np.ndarray) -> float:
+        t0 = time.perf_counter()
+        num_layers = self.model.num_layers
+        # Output-to-input set construction.
+        dst_sets: List[np.ndarray] = [batch]
+        blocks: List[sp.csr_matrix] = []
+        self_pos: List[np.ndarray] = []
+        edges = 0.0
+        for _ in range(num_layers):
+            src, block, pos, touched = self._sample_block(dst_sets[-1])
+            dst_sets.append(src)
+            blocks.append(block)
+            self_pos.append(pos)
+            edges += touched
+        self._record_sampling(time.perf_counter() - t0, edges)
+
+        # Forward input-to-output: layer ℓ consumes set L-ℓ.
+        h = Tensor(self.graph.features[dst_sets[-1]])
+        dims = self.model.dims
+        for layer_idx, layer in enumerate(self.model.layers):
+            level = num_layers - 1 - layer_idx  # block index for this layer
+            block = blocks[level]
+            h = self.model.dropout(h, self.dropout_rng)
+            h_self = gather_rows(h, self_pos[level])
+            out = layer(SparseOp(block), h, h_self)
+            if layer_idx < num_layers - 1:
+                out = relu(out)
+            d_in, d_out = dims[layer_idx], dims[layer_idx + 1]
+            self._record_flops(
+                3.0 * (2.0 * block.nnz * d_in + 4.0 * block.shape[0] * d_in * d_out)
+            )
+            h = out
+
+        loss = self._loss(h, self.graph.labels[batch])
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()

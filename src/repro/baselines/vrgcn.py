@@ -1,0 +1,153 @@
+"""VR-GCN-style training with historical embeddings (Chen et al., 2018b).
+
+VR-GCN reduces neighbour-sampling variance by keeping a *history*
+H̄^(ℓ) of every node's layer-ℓ embedding and estimating
+
+    z_v ≈ P[v, :] · H̄ + Σ_{u ∈ sample(v)} P[v, u] · (h_u − h̄_u) · deg/s
+
+— the full-graph aggregation of the (stale) history plus a sampled
+correction for the drift of the current minibatch's neighbours.  The
+price is O(n · d · L) extra memory for the histories, the "heavy memory
+requirements" the paper cites in Section 2 (and the reason VR-GCN OOMs
+on ogbn-products in Table 4).
+
+This implementation keeps the histories in plain arrays, samples
+``fanout`` correction neighbours per node, and refreshes history rows
+of every node the batch computed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.propagation import mean_aggregation
+from ..tensor import SparseOp, Tensor, gather_rows, relu, spmm
+from .base import MiniBatchTrainer
+
+__all__ = ["VRGCNTrainer"]
+
+
+class VRGCNTrainer(MiniBatchTrainer):
+    """Historical-embedding SAGE training."""
+
+    name = "vrgcn"
+
+    def __init__(self, graph, model, fanout: int = 2, **kwargs) -> None:
+        super().__init__(graph, model, **kwargs)
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.fanout = fanout
+        self._p = mean_aggregation(graph.adj).csr
+        # Histories: layer ℓ's INPUT embeddings (ℓ = 0 is raw features).
+        dims = self.model.dims
+        n = graph.num_nodes
+        self._history: List[np.ndarray] = [graph.features.astype(np.float64)]
+        for d in dims[1:-1]:
+            self._history.append(np.zeros((n, d)))
+
+    @property
+    def history_bytes(self) -> int:
+        """The memory overhead that makes VR-GCN OOM on large graphs."""
+        return sum(h.nbytes for h in self._history)
+
+    # ------------------------------------------------------------------
+    def train_step(self, batch: np.ndarray) -> float:
+        t0 = time.perf_counter()
+        indptr, indices = self.graph.adj.indptr, self.graph.adj.indices
+        # Nested destination sets (like neighbour sampling but tiny fanout).
+        sets: List[np.ndarray] = [batch]
+        samples: List[np.ndarray] = []  # flat sampled neighbour ids per level
+        sample_rows: List[np.ndarray] = []
+        edges = 0.0
+        for _ in range(self.model.num_layers):
+            dst = sets[-1]
+            picks, rows = [], []
+            for r, v in enumerate(dst):
+                neigh = indices[indptr[v]:indptr[v + 1]]
+                edges += len(neigh)
+                if len(neigh) == 0:
+                    continue
+                k = min(self.fanout, len(neigh))
+                for u in self.rng.choice(neigh, size=k, replace=False):
+                    picks.append(u)
+                    rows.append(r)
+            picks = np.asarray(picks, dtype=np.int64)
+            rows = np.asarray(rows, dtype=np.int64)
+            samples.append(picks)
+            sample_rows.append(rows)
+            sets.append(np.unique(np.concatenate([dst, picks])))
+        self._record_sampling(time.perf_counter() - t0, edges)
+
+        dims = self.model.dims
+        num_layers = self.model.num_layers
+        # h holds CURRENT embeddings for the working set of each level.
+        h = Tensor(self.graph.features[sets[-1]])
+        new_histories: List[tuple] = []
+        for layer_idx, layer in enumerate(self.model.layers):
+            level = num_layers - 1 - layer_idx
+            dst = sets[level]
+            src = sets[level + 1]
+            picks, rows = samples[level], sample_rows[level]
+
+            h = self.model.dropout(h, self.dropout_rng)
+            hist = self._history[layer_idx]
+
+            # Base term: full aggregation of the stale history (constant).
+            base = self._p[dst] @ hist  # (|dst|, d_in) numpy
+
+            # Correction: sampled neighbours' drift, importance-scaled.
+            src_pos = {int(u): i for i, u in enumerate(src)}
+            pick_pos = np.array([src_pos[int(u)] for u in picks], dtype=np.int64)
+            drift_curr = gather_rows(h, pick_pos)
+            drift_hist = hist[picks]
+            p_weights = np.array(
+                [self._p[dst[r], u] for r, u in zip(rows, picks)], dtype=np.float64
+            ).reshape(-1, 1)
+            deg = np.maximum(
+                np.diff(indptr)[dst][rows].astype(np.float64), 1.0
+            ).reshape(-1, 1)
+            counts = np.bincount(rows, minlength=len(dst)).astype(np.float64)
+            per_row_scale = (deg.ravel() / np.maximum(counts[rows], 1.0)).reshape(-1, 1)
+            corr_msgs = (drift_curr - Tensor(drift_hist)) * Tensor(
+                p_weights * per_row_scale
+            )
+            from ..tensor import scatter_rows
+
+            correction = scatter_rows(corr_msgs, rows, len(dst))
+            z = correction + Tensor(base)
+
+            # SAGE update on (z, h_self).
+            dst_pos = np.array([src_pos[int(v)] for v in dst], dtype=np.int64)
+            h_self = gather_rows(h, dst_pos)
+            from ..tensor import concat_cols
+
+            out = concat_cols([z, h_self]) @ layer.weight
+            if layer.bias is not None:
+                out = out + layer.bias
+            if layer_idx < num_layers - 1:
+                out = relu(out)
+            d_in, d_out = dims[layer_idx], dims[layer_idx + 1]
+            self._record_flops(
+                3.0
+                * (
+                    2.0 * self._p[dst].nnz * d_in
+                    + 4.0 * len(dst) * d_in * d_out
+                )
+            )
+            # Refresh histories for the next layer's input (detached).
+            if layer_idx + 1 < num_layers:
+                new_histories.append((layer_idx + 1, dst, out.numpy().copy()))
+            h = out
+
+        for layer_idx, nodes, values in new_histories:
+            self._history[layer_idx][nodes] = values
+
+        loss = self._loss(h, self.graph.labels[batch])
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()

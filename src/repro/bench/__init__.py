@@ -1,0 +1,43 @@
+"""Benchmark harness: configs, runners, table formatting, time model."""
+
+from .harness import (
+    BENCH_CONFIGS,
+    BenchConfig,
+    RunSummary,
+    get_graph,
+    get_partition,
+    make_model,
+    make_trainer,
+    memory_for,
+    run_config,
+    run_config_cached,
+    save_result,
+    RESULTS_DIR,
+)
+from .tables import banner, format_series, format_table
+from .timemodel import (
+    SECONDS_PER_SAMPLER_EDGE,
+    baseline_epoch_seconds,
+    sampler_overhead_fraction,
+)
+
+__all__ = [
+    "BENCH_CONFIGS",
+    "BenchConfig",
+    "RunSummary",
+    "get_graph",
+    "get_partition",
+    "make_model",
+    "make_trainer",
+    "memory_for",
+    "run_config",
+    "run_config_cached",
+    "save_result",
+    "RESULTS_DIR",
+    "banner",
+    "format_series",
+    "format_table",
+    "SECONDS_PER_SAMPLER_EDGE",
+    "baseline_epoch_seconds",
+    "sampler_overhead_fraction",
+]

@@ -1,0 +1,252 @@
+"""Experiment harness shared by the benchmark suite.
+
+Centralises:
+
+* per-dataset *bench configurations* — scaled-down versions of the
+  paper's model/optimiser settings (Section 4 "Models"), one per
+  dataset, so every table/figure bench uses identical hyper-parameters;
+* caching of generated graphs and (expensive) partitions across
+  benchmarks in one pytest session;
+* runner helpers that train one configuration and return the summary
+  quantities the tables need (score, modelled epoch time, traffic,
+  memory);
+* result persistence: every bench writes its formatted table both to
+  stdout and to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.sampler import BoundaryNodeSampler, BoundarySampler, FullBoundarySampler
+from ..core.trainer import DistributedTrainer, TrainHistory
+from ..dist.cost_model import ClusterSpec, MemoryModel, RTX2080TI_CLUSTER
+from ..dist.systems import build_workload
+from ..graph.datasets import load_dataset
+from ..graph.graph import Graph
+from ..nn.models import GraphSAGEModel, layer_dims
+from ..partition import partition_graph
+from ..partition.types import PartitionResult
+
+__all__ = [
+    "BenchConfig",
+    "BENCH_CONFIGS",
+    "get_graph",
+    "get_partition",
+    "make_model",
+    "make_trainer",
+    "run_config",
+    "RunSummary",
+    "save_result",
+    "RESULTS_DIR",
+]
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scaled-down analogue of the paper's per-dataset training setup.
+
+    The paper's settings (layers/hidden/lr/dropout) are kept; node
+    counts, hidden widths and epoch counts shrink ~proportionally so
+    the full suite runs on a laptop in minutes.
+    """
+
+    dataset: str
+    scale: float
+    num_layers: int
+    hidden: int
+    dropout: float
+    lr: float
+    epochs: int
+    eval_every: int
+    partition_grid: Tuple[int, ...]
+    min_parts: int  # paper's "minimal partitions for full-graph training"
+
+
+BENCH_CONFIGS: Dict[str, BenchConfig] = {
+    # paper: 4 layers x 256 hidden, lr 0.01, 3000 epochs, dropout 0.5
+    "reddit-sim": BenchConfig(
+        dataset="reddit-sim", scale=0.25, num_layers=4, hidden=64,
+        dropout=0.5, lr=0.01, epochs=400, eval_every=40,
+        partition_grid=(2, 4, 8), min_parts=2,
+    ),
+    # paper: 3 layers x 128 hidden, lr 0.003, 500 epochs, dropout 0.3.
+    # lr raised to 0.01 here: at 1/30 scale the loss landscape is far
+    # smaller, and the paper's lr leaves every run undertrained within
+    # a laptop epoch budget.
+    "products-sim": BenchConfig(
+        dataset="products-sim", scale=0.2, num_layers=3, hidden=64,
+        dropout=0.3, lr=0.01, epochs=400, eval_every=25,
+        partition_grid=(5, 8, 10), min_parts=5,
+    ),
+    # paper: 4 layers x 512 hidden, lr 0.001, 3000 epochs, dropout 0.1
+    # (lr raised for the same scale reason as products-sim).
+    "yelp-sim": BenchConfig(
+        dataset="yelp-sim", scale=0.25, num_layers=4, hidden=64,
+        dropout=0.1, lr=0.01, epochs=300, eval_every=30,
+        partition_grid=(3, 6, 10), min_parts=3,
+    ),
+    # paper: 3 layers x 128 hidden, lr 0.01, 100 epochs, dropout 0.5
+    "papers-sim": BenchConfig(
+        dataset="papers-sim", scale=0.5, num_layers=3, hidden=32,
+        dropout=0.5, lr=0.01, epochs=40, eval_every=20,
+        partition_grid=(192,), min_parts=192,
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def get_graph(name: str, seed: int = 0) -> Graph:
+    """Dataset at its bench scale (cached per session)."""
+    cfg = BENCH_CONFIGS[name]
+    return load_dataset(name, scale=cfg.scale, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def get_partition(
+    name: str, num_parts: int, method: str = "metis", seed: int = 0
+) -> PartitionResult:
+    """Partition of the bench graph (cached; metis-like is the slow bit)."""
+    return partition_graph(get_graph(name, seed), num_parts, method=method, seed=seed)
+
+
+def make_model(graph: Graph, cfg: BenchConfig, seed: int = 7) -> GraphSAGEModel:
+    """Model with the bench config's architecture for ``graph``."""
+    return GraphSAGEModel(
+        in_dim=graph.feature_dim,
+        hidden_dim=cfg.hidden,
+        out_dim=graph.num_classes,
+        num_layers=cfg.num_layers,
+        dropout=cfg.dropout,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def make_trainer(
+    name: str,
+    num_parts: int,
+    sampler: Optional[BoundarySampler] = None,
+    method: str = "metis",
+    seed: int = 0,
+    model_seed: int = 7,
+    cluster: Optional[ClusterSpec] = RTX2080TI_CLUSTER,
+) -> DistributedTrainer:
+    """DistributedTrainer wired from a bench config (cluster-modelled)."""
+    cfg = BENCH_CONFIGS[name]
+    graph = get_graph(name, seed)
+    part = get_partition(name, num_parts, method, seed)
+    model = make_model(graph, cfg, model_seed)
+    return DistributedTrainer(
+        graph, part, model, sampler or FullBoundarySampler(),
+        lr=cfg.lr, seed=seed, cluster=cluster,
+    )
+
+
+@dataclass
+class RunSummary:
+    """What one training run contributes to the tables."""
+
+    dataset: str
+    num_parts: int
+    p: float
+    test_score: float
+    best_val: float
+    epoch_seconds: float  # modelled
+    compute_seconds: float
+    comm_seconds: float
+    reduce_seconds: float
+    comm_megabytes: float  # metered, per epoch (steady state)
+    sampling_seconds: float
+    history: TrainHistory = field(repr=False, default=None)
+
+
+def run_config(
+    name: str,
+    num_parts: int,
+    p: float,
+    method: str = "metis",
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    sampler: Optional[BoundarySampler] = None,
+) -> RunSummary:
+    """Train one (dataset, partitions, sampling rate) cell."""
+    cfg = BENCH_CONFIGS[name]
+    if sampler is None:
+        sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
+    trainer = make_trainer(name, num_parts, sampler, method, seed)
+    history = trainer.train(epochs or cfg.epochs, eval_every=cfg.eval_every)
+    modeled = history.modeled
+    avg = lambda xs: float(np.mean(xs)) if xs else float("nan")
+    return RunSummary(
+        dataset=name,
+        num_parts=num_parts,
+        p=p,
+        test_score=history.test_at_best_val(),
+        best_val=history.best_val,
+        epoch_seconds=avg([b.total for b in modeled]),
+        compute_seconds=avg([b.compute for b in modeled]),
+        comm_seconds=avg([b.communication for b in modeled]),
+        reduce_seconds=avg([b.reduce for b in modeled]),
+        comm_megabytes=avg(history.comm_bytes) / 1e6,
+        sampling_seconds=avg(history.sampling_seconds),
+        history=history,
+    )
+
+
+def memory_for(
+    name: str,
+    num_parts: int,
+    p: float,
+    method: str = "metis",
+    seed: int = 0,
+) -> np.ndarray:
+    """Modelled per-partition training memory (bytes) at sampling rate p."""
+    cfg = BENCH_CONFIGS[name]
+    graph = get_graph(name, seed)
+    part = get_partition(name, num_parts, method, seed)
+    model = make_model(graph, cfg)
+    dims = layer_dims(graph.feature_dim, cfg.hidden, graph.num_classes, cfg.num_layers)
+    workload = build_workload(graph, part, dims, model.num_parameters())
+    mm = MemoryModel()
+    boundary = workload.boundary_sizes * p
+    return mm.per_partition_bytes(
+        workload.inner_sizes, boundary, dims, model.num_parameters()
+    )
+
+
+_RUN_CACHE: Dict[tuple, RunSummary] = {}
+
+
+def run_config_cached(
+    name: str,
+    num_parts: int,
+    p: float,
+    method: str = "metis",
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> RunSummary:
+    """Memoised :func:`run_config` — several benchmarks share cells
+    (e.g. Table 4's p-grid, Fig. 7's curves and Table 13's sweep), and
+    retraining identical configurations would dominate the suite."""
+    key = (name, num_parts, p, method, seed, epochs)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run_config(name, num_parts, p, method, seed, epochs)
+    return _RUN_CACHE[key]
+
+
+def save_result(name: str, text: str) -> str:
+    """Write a bench's formatted output under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(text)
+    return path

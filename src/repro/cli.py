@@ -1,0 +1,207 @@
+"""Command-line driver mirroring the paper artifact's ``main.py``.
+
+The BNS-GCN artifact exposes a ``main.py`` whose options choose the
+dataset, number of partitions, sampling rate, partitioner, model and
+training hyper-parameters.  This module provides the same workflow:
+
+    python -m repro --dataset reddit-sim --n-partitions 4 \\
+        --sampling-rate 0.1 --n-epochs 200 --n-hidden 64 --n-layers 2
+
+It prints per-eval progress and a final summary with the metered
+communication and the modelled epoch breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .bench.tables import format_table
+from .core.sampler import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    DropEdgeSampler,
+    FullBoundarySampler,
+)
+from .core.trainer import DistributedTrainer
+from .core.gat_trainer import DistributedGATTrainer
+from .core.pipeline import PipelinedTrainer
+from .dist.cost_model import RTX2080TI_CLUSTER
+from .graph.datasets import DATASET_SPECS, load_dataset
+from .nn.checkpoint import load_checkpoint, save_checkpoint
+from .nn.models import GATModel, GCNModel, GraphSAGEModel
+from .nn.schedulers import CosineAnnealingLR, StepLR
+from .partition import partition_graph
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser mirroring the artifact's main.py options."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partition-parallel GCN training with boundary node sampling",
+    )
+    parser.add_argument(
+        "--dataset", default="reddit-sim", choices=sorted(DATASET_SPECS),
+        help="which synthetic dataset analogue to train on",
+    )
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="dataset size multiplier (1.0 = full analogue)")
+    parser.add_argument("--n-partitions", type=int, default=4)
+    parser.add_argument(
+        "--partition-method", default="metis",
+        choices=("metis", "random", "spectral"),
+    )
+    parser.add_argument(
+        "--partition-objective", default="volume", choices=("volume", "cut"),
+        help="METIS-like objective (the paper uses communication volume)",
+    )
+    parser.add_argument(
+        "--sampling-rate", type=float, default=0.1,
+        help="boundary node sampling rate p (1.0 = vanilla)",
+    )
+    parser.add_argument(
+        "--sampler", default="bns", choices=("bns", "bes", "dropedge"),
+        help="boundary sampling strategy (bes/dropedge are Table 9 ablations)",
+    )
+    parser.add_argument(
+        "--model", default="sage", choices=("sage", "gcn", "gat")
+    )
+    parser.add_argument("--n-hidden", type=int, default=64)
+    parser.add_argument("--n-layers", type=int, default=2)
+    parser.add_argument("--dropout", type=float, default=0.5)
+    parser.add_argument("--lr", type=float, default=0.01)
+    parser.add_argument("--n-epochs", type=int, default=200)
+    parser.add_argument("--eval-every", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pipelined", action="store_true",
+        help="use the PipeGCN-style pipelined trainer (stale boundary "
+             "features; communication overlaps compute)",
+    )
+    parser.add_argument(
+        "--patience", type=int, default=0,
+        help="early-stop after this many evaluations without val improvement",
+    )
+    parser.add_argument(
+        "--lr-schedule", default="none", choices=("none", "step", "cosine"),
+        help="optional learning-rate schedule over --n-epochs",
+    )
+    parser.add_argument(
+        "--save-checkpoint", metavar="PATH", default=None,
+        help="write model+optimizer state here after training",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="load model+optimizer state from a checkpoint before training",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Train one configuration from CLI args; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if not args.quiet:
+        print(f"loaded {graph}")
+
+    partition = partition_graph(
+        graph, args.n_partitions, method=args.partition_method,
+        seed=args.seed, objective=args.partition_objective,
+    )
+    if not args.quiet:
+        sizes = partition.part_sizes()
+        print(
+            f"partitioned with {partition.method}: sizes "
+            f"[{sizes.min()}..{sizes.max()}]"
+        )
+
+    rng = np.random.default_rng(args.seed + 7)
+    p = args.sampling_rate
+    if args.model == "gat":
+        if args.pipelined:
+            print("error: --pipelined is not supported with --model gat",
+                  file=sys.stderr)
+            return 2
+        model = GATModel(
+            graph.feature_dim, args.n_hidden, graph.num_classes,
+            args.n_layers, args.dropout, rng, num_heads=2,
+        )
+        trainer = DistributedGATTrainer(
+            graph, partition, model, p=p, lr=args.lr, seed=args.seed,
+            cluster=RTX2080TI_CLUSTER,
+        )
+    else:
+        model_cls = GraphSAGEModel if args.model == "sage" else GCNModel
+        model = model_cls(
+            graph.feature_dim, args.n_hidden, graph.num_classes,
+            args.n_layers, args.dropout, rng,
+        )
+        if args.sampler == "bns":
+            sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
+        elif args.sampler == "bes":
+            sampler = BoundaryEdgeSampler(p)
+        else:
+            sampler = DropEdgeSampler(p)
+        trainer_cls = PipelinedTrainer if args.pipelined else DistributedTrainer
+        trainer = trainer_cls(
+            graph, partition, model, sampler, lr=args.lr, seed=args.seed,
+            cluster=RTX2080TI_CLUSTER,
+            aggregation="sym" if args.model == "gcn" else "mean",
+        )
+
+    if args.resume:
+        epoch = load_checkpoint(args.resume, model, trainer.optimizer)
+        if not args.quiet:
+            print(f"resumed from {args.resume} (epoch {epoch})")
+
+    if args.model == "gat":
+        history = trainer.train(args.n_epochs, eval_every=args.eval_every)
+    else:
+        scheduler = None
+        if args.lr_schedule == "step":
+            scheduler = StepLR(
+                trainer.optimizer, step_size=max(args.n_epochs // 3, 1), gamma=0.3
+            )
+        elif args.lr_schedule == "cosine":
+            scheduler = CosineAnnealingLR(trainer.optimizer, t_max=args.n_epochs)
+        history = trainer.train(
+            args.n_epochs, eval_every=args.eval_every,
+            verbose=not args.quiet, patience=args.patience,
+            scheduler=scheduler,
+        )
+
+    if args.save_checkpoint:
+        path = save_checkpoint(
+            args.save_checkpoint, model, trainer.optimizer,
+            epoch=len(history.loss),
+        )
+        if not args.quiet:
+            print(f"checkpoint written to {path}")
+
+    scores = trainer.evaluate()
+    rows = [
+        ["test score", f"{scores['test']:.4f}"],
+        ["val score", f"{scores['val']:.4f}"],
+        ["best val / its test", f"{history.best_val:.4f} / {history.test_at_best_val():.4f}"],
+        ["final loss", f"{history.loss[-1]:.4f}"],
+        ["comm / epoch", f"{np.mean(history.comm_bytes) / 1e6:.2f} MB"],
+        ["wall / epoch", f"{np.mean(history.wall_seconds) * 1e3:.1f} ms (this process)"],
+    ]
+    if history.modeled:
+        bd = history.modeled[-1]
+        rows.append(["modelled epoch", f"{bd.total * 1e3:.2f} ms "
+                     f"(comp {bd.compute * 1e3:.2f} / comm {bd.communication * 1e3:.2f} "
+                     f"/ reduce {bd.reduce * 1e3:.2f})"])
+    print(format_table(["metric", "value"], rows, title="\nsummary"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution: BNS-GCN sampling + partition-parallel trainers."""
+
+from .sampler import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    BoundarySampler,
+    DropEdgeSampler,
+    EpochPlan,
+    FullBoundarySampler,
+)
+from .bns import PartitionRuntime, RankData
+from .trainer import DistributedTrainer, TrainHistory
+from .gat_trainer import DistributedGATTrainer
+from .pipeline import PipelinedTrainer
+from .autotune import PerPartitionSampler, balanced_rates, max_rate_for_memory
+from . import variance
+
+__all__ = [
+    "BoundaryEdgeSampler",
+    "BoundaryNodeSampler",
+    "BoundarySampler",
+    "DropEdgeSampler",
+    "EpochPlan",
+    "FullBoundarySampler",
+    "PartitionRuntime",
+    "RankData",
+    "DistributedTrainer",
+    "DistributedGATTrainer",
+    "PipelinedTrainer",
+    "TrainHistory",
+    "PerPartitionSampler",
+    "balanced_rates",
+    "max_rate_for_memory",
+    "variance",
+]

@@ -1,0 +1,142 @@
+"""Choosing the boundary sampling rate — Appendix E, operationalised.
+
+The paper's Appendix E recommends p = 0.1 empirically but leaves the
+choice to the user.  Two deployment questions have analytic answers
+under the Eq. 3/4 cost models, and this module provides both:
+
+* :func:`max_rate_for_memory` — the largest uniform p whose modelled
+  per-partition training memory (Eq. 4 + caches) fits a device budget.
+  This is how one decides whether a graph *can* be trained on a given
+  cluster at all, and at what fidelity.
+
+* :func:`balanced_rates` — *per-partition* rates p_i that equalise the
+  modelled memory across ranks (the Fig. 8 imbalance, solved directly
+  instead of relying on uniform sampling's statistical balancing).
+  Each straggler partition samples more aggressively; under-utilised
+  partitions keep more boundary nodes (up to ``p_max``), so the
+  cluster-wide memory spread shrinks without lowering the average
+  sampling fidelity.
+
+Both solve Eq. 4 in closed form — memory is affine in the boundary
+count, and the boundary count scales linearly with p.
+
+:class:`PerPartitionSampler` executes a per-partition rate vector as a
+drop-in :class:`~repro.core.sampler.BoundarySampler`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..dist.cost_model import MemoryModel
+from ..dist.systems import Workload
+from .sampler import BoundaryNodeSampler, EpochPlan
+
+__all__ = ["max_rate_for_memory", "balanced_rates", "PerPartitionSampler"]
+
+
+def _memory_at(
+    workload: Workload, rates: np.ndarray, memory_model: MemoryModel
+) -> np.ndarray:
+    """Modelled per-partition bytes when partition i samples at rates[i]."""
+    return memory_model.per_partition_bytes(
+        workload.inner_sizes,
+        workload.boundary_sizes * rates,
+        workload.layer_dims,
+        workload.model_params,
+    )
+
+
+def max_rate_for_memory(
+    workload: Workload,
+    budget_bytes: float,
+    memory_model: Optional[MemoryModel] = None,
+) -> float:
+    """Largest uniform p in [0, 1] with every partition under budget.
+
+    Returns -1.0 if even p = 0 (no boundary nodes kept) exceeds the
+    budget — the partition count is too low for this device.
+    """
+    if budget_bytes <= 0:
+        raise ValueError(f"budget must be positive, got {budget_bytes}")
+    mm = memory_model or MemoryModel()
+    m = workload.num_parts
+    floor = _memory_at(workload, np.zeros(m), mm)
+    if floor.max() > budget_bytes:
+        return -1.0
+    full = _memory_at(workload, np.ones(m), mm)
+    if full.max() <= budget_bytes:
+        return 1.0
+    # Memory is affine in p per partition: mem_i(p) = floor_i + slope_i*p.
+    slope = full - floor
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_part = np.where(
+            slope > 0, (budget_bytes - floor) / np.maximum(slope, 1e-300), 1.0
+        )
+    return float(np.clip(per_part.min(), 0.0, 1.0))
+
+
+def balanced_rates(
+    workload: Workload,
+    p_target: float,
+    p_max: float = 1.0,
+    memory_model: Optional[MemoryModel] = None,
+) -> np.ndarray:
+    """Per-partition rates that equalise modelled memory at the level
+    the *straggler* partition would need under uniform ``p_target``.
+
+    The straggler (largest memory at uniform p_target) keeps its rate;
+    every other partition raises its rate until it either reaches the
+    straggler's memory level or hits ``p_max``.  The result never
+    samples more aggressively than ``p_target`` anywhere, so estimator
+    variance can only improve over the uniform setting.
+    """
+    if not 0.0 <= p_target <= 1.0:
+        raise ValueError(f"p_target must be in [0, 1], got {p_target}")
+    if not p_target <= p_max <= 1.0:
+        raise ValueError("need p_target <= p_max <= 1")
+    mm = memory_model or MemoryModel()
+    m = workload.num_parts
+    uniform = np.full(m, p_target)
+    mem = _memory_at(workload, uniform, mm)
+    level = mem.max()
+    floor = _memory_at(workload, np.zeros(m), mm)
+    slope = _memory_at(workload, np.ones(m), mm) - floor
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = np.where(
+            slope > 0,
+            (level - floor) / np.maximum(slope, 1e-300),
+            p_max,
+        )
+    return np.clip(rates, p_target, p_max)
+
+
+class PerPartitionSampler(BoundaryNodeSampler):
+    """BNS with a distinct sampling rate per partition.
+
+    Used with the output of :func:`balanced_rates`; everything else
+    (renorm/scale estimator modes, plan construction) is inherited.
+    """
+
+    name = "bns-per-partition"
+
+    def __init__(self, rates: Sequence[float], mode: str = "renorm") -> None:
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.ndim != 1 or rates.size == 0:
+            raise ValueError("rates must be a non-empty 1-D sequence")
+        if (rates < 0).any() or (rates > 1).any():
+            raise ValueError("every rate must lie in [0, 1]")
+        # Initialise the parent with the mean rate (used only for repr
+        # and any uniform-rate fallbacks); per-plan rates override it.
+        super().__init__(float(rates.mean()), mode=mode)
+        self.rates = rates
+
+    def plan(self, rank_data, rng) -> EpochPlan:
+        if rank_data.rank >= self.rates.size:
+            raise IndexError(
+                f"sampler has {self.rates.size} rates but saw rank {rank_data.rank}"
+            )
+        self.p = float(self.rates[rank_data.rank])
+        return super().plan(rank_data, rng)

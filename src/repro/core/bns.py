@@ -1,0 +1,176 @@
+"""Per-partition runtime structures for partition-parallel training.
+
+:class:`PartitionRuntime` turns (graph, partition) into what each rank
+of Algorithm 1 holds locally:
+
+* its inner node list ``V_i`` and boundary node list ``B_i`` (sorted by
+  owning rank so communication batches are contiguous),
+* the local propagation blocks ``P_in = P[V_i, V_i]`` and
+  ``P_bd = P[V_i, B_i]``,
+* for every boundary node: which rank owns it and its row index inside
+  that owner's feature matrix (the "Broadcast U_i / record S_{i,j}"
+  bookkeeping of Algorithm 1 lines 6-7, done once since the boundary
+  *universe* is static — only the sampled subset changes per epoch),
+* local label/mask slices for the loss (line 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph
+from ..graph.propagation import mean_aggregation, sym_norm
+from ..partition.types import PartitionResult
+
+__all__ = ["RankData", "PartitionRuntime"]
+
+
+@dataclass
+class RankData:
+    """Everything rank *i* stores between epochs.
+
+    Two views of the local aggregation structure are kept:
+
+    * ``p_in`` / ``p_bd`` — the *pre-normalised* propagation blocks
+      (full-degree mean or symmetric norm).  Used by the 1/p-scaling
+      estimator analysed in Appendix A.
+    * ``a_in`` / ``a_bd`` — the *raw* adjacency blocks.  Used by the
+      subgraph-renormalising estimator (Algorithm 1 line 5 builds the
+      node-induced subgraph, whose mean aggregator divides by the
+      surviving degree), which is what the official implementation
+      does and what keeps accuracy at small p.
+    """
+
+    rank: int
+    inner: np.ndarray  # global ids of V_i (sorted)
+    boundary: np.ndarray  # global ids of B_i (sorted by owner, then id)
+    bd_owner: np.ndarray  # owning rank of each boundary node
+    bd_local_index: np.ndarray  # row of the node inside its owner's inner list
+    p_in: sp.csr_matrix  # (n_in, n_in)
+    p_bd: sp.csr_matrix  # (n_in, n_bd), columns in `boundary` order
+    a_in: sp.csr_matrix  # raw adjacency block (n_in, n_in)
+    a_bd: sp.csr_matrix  # raw adjacency block (n_in, n_bd)
+    labels: np.ndarray  # labels of inner nodes
+    train_local: np.ndarray  # local indices of training inner nodes
+    val_local: np.ndarray
+    test_local: np.ndarray
+
+    @property
+    def n_inner(self) -> int:
+        return len(self.inner)
+
+    @property
+    def n_boundary(self) -> int:
+        return len(self.boundary)
+
+    def boundary_groups(self, kept_positions: np.ndarray):
+        """Group kept boundary positions by owning rank.
+
+        Yields ``(owner_rank, positions, owner_row_indices)`` with
+        positions contiguous because ``boundary`` is owner-sorted.
+        """
+        if kept_positions.size == 0:
+            return
+        owners = self.bd_owner[kept_positions]
+        # kept_positions ascend, and boundary is owner-sorted, so owners
+        # are non-decreasing; find group boundaries.
+        change = np.flatnonzero(np.diff(owners)) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [len(owners)]))
+        for s, e in zip(starts, ends):
+            pos = kept_positions[s:e]
+            yield int(owners[s]), pos, self.bd_local_index[pos]
+
+
+class PartitionRuntime:
+    """Builds and owns the per-rank data of a partitioned training job."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        partition: PartitionResult,
+        aggregation: str = "mean",
+    ) -> None:
+        if aggregation == "mean":
+            prop = mean_aggregation(graph.adj)
+        elif aggregation == "sym":
+            prop = sym_norm(graph.adj)
+        else:
+            raise ValueError(f"unknown aggregation {aggregation!r}")
+        self.graph = graph
+        self.partition = partition
+        self.aggregation = aggregation
+        self.full_prop = prop
+        self.num_parts = partition.num_parts
+
+        p_global = prop.csr
+        assignment = partition.assignment
+
+        # Global -> local row index within the owner's inner list.
+        local_index = np.zeros(graph.num_nodes, dtype=np.int64)
+        inner_lists: List[np.ndarray] = []
+        for i in range(self.num_parts):
+            inner = partition.inner_nodes(i)  # sorted
+            inner_lists.append(inner)
+            local_index[inner] = np.arange(len(inner))
+
+        self.ranks: List[RankData] = []
+        for i in range(self.num_parts):
+            inner = inner_lists[i]
+            boundary = partition.boundary_nodes(graph.adj, i)
+            owners = assignment[boundary]
+            order = np.lexsort((boundary, owners))  # sort by owner, then id
+            boundary = boundary[order]
+            owners = owners[order]
+
+            cols = np.concatenate([inner, boundary]).astype(np.int64)
+            n_in = len(inner)
+            local_block = p_global[inner][:, cols].tocsr()
+            p_in = local_block[:, :n_in].tocsr()
+            p_bd = local_block[:, n_in:].tocsr()
+            adj_block = graph.adj[inner][:, cols].tocsr()
+            a_in = adj_block[:, :n_in].tocsr()
+            a_bd = adj_block[:, n_in:].tocsr()
+
+            self.ranks.append(
+                RankData(
+                    rank=i,
+                    inner=inner,
+                    boundary=boundary,
+                    bd_owner=owners,
+                    bd_local_index=local_index[boundary],
+                    p_in=p_in,
+                    p_bd=p_bd,
+                    a_in=a_in,
+                    a_bd=a_bd,
+                    labels=graph.labels[inner],
+                    train_local=np.flatnonzero(graph.train_mask[inner]),
+                    val_local=np.flatnonzero(graph.val_mask[inner]),
+                    test_local=np.flatnonzero(graph.test_mask[inner]),
+                )
+            )
+
+        self.total_train = int(graph.train_mask.sum())
+
+    # ------------------------------------------------------------------
+    def total_boundary(self) -> int:
+        """Σ_i |B_i| — Eq. 3's communication volume in node counts."""
+        return sum(r.n_boundary for r in self.ranks)
+
+    def validate(self) -> None:
+        """Invariants: inner sets cover the graph; local blocks tile P."""
+        covered = np.concatenate([r.inner for r in self.ranks])
+        if len(np.unique(covered)) != self.graph.num_nodes:
+            raise AssertionError("inner sets do not partition the node set")
+        for r in self.ranks:
+            if r.p_in.shape != (r.n_inner, r.n_inner):
+                raise AssertionError("P_in block has wrong shape")
+            if r.p_bd.shape != (r.n_inner, r.n_boundary):
+                raise AssertionError("P_bd block has wrong shape")
+            own = self.partition.assignment[r.boundary]
+            if (own == r.rank).any():
+                raise AssertionError("boundary node owned by its own rank")

@@ -1,0 +1,247 @@
+"""Boundary sampling strategies (Section 3.2 and the Table 9 ablation).
+
+All samplers operate on one partition's :class:`~repro.core.bns.RankData`
+and return an :class:`EpochPlan` per epoch: the effective local
+propagation operator ``[P̃_in | P̃_bd]`` plus the positions of the
+boundary nodes that must actually be communicated.
+
+Two estimator modes are provided for each sampler:
+
+* ``"renorm"`` (default) — Algorithm 1 line 5 builds the node-induced
+  subgraph of ``V_i ∪ U_i``; a mean aggregator on that subgraph divides
+  by the *surviving* neighbour count.  This is the self-normalised
+  estimator the official implementation realises through DGL, and the
+  one that keeps accuracy flat down to p = 0.01.
+* ``"scale"`` — keep the full-degree (or sym-norm) operator and rescale
+  the kept boundary columns by 1/p (the paper's "replace H with H/p"
+  description and the estimator analysed in Appendix A).  Unbiased but
+  higher variance; exposed for the variance study and for sum-style
+  aggregators where renormalisation is not meaningful.
+
+Implemented strategies:
+
+* :class:`BoundaryNodeSampler` — **BNS** (Algorithm 1, lines 4-5):
+  keep each boundary *node* independently with probability p.
+* :class:`BoundaryEdgeSampler` — **BES** (Table 9): keep each boundary
+  *edge* with probability q.  A boundary node must still be
+  communicated when *any* incident edge survives — the reason edge
+  sampling saves much less traffic than node sampling.
+* :class:`DropEdgeSampler` — DropEdge (Rong et al.) applied to
+  partition-parallel training: drops edges uniformly over the *whole*
+  local block (inner + boundary).
+* :class:`FullBoundarySampler` — no sampling (vanilla partition
+  parallelism, p = 1), cached so its per-epoch overhead is zero.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.propagation import row_normalise
+from ..tensor import SparseOp
+
+__all__ = [
+    "EpochPlan",
+    "BoundarySampler",
+    "BoundaryNodeSampler",
+    "BoundaryEdgeSampler",
+    "DropEdgeSampler",
+    "FullBoundarySampler",
+]
+
+MODES = ("renorm", "scale")
+
+
+@dataclass
+class EpochPlan:
+    """One partition's sampling decision for one epoch.
+
+    Attributes
+    ----------
+    prop:
+        Effective (n_in, n_in + n_kept) operator ``[P̃_in | P̃_bd]``.
+    kept_positions:
+        Indices into the partition's boundary list of the nodes whose
+        features must be received this epoch, ascending (matching the
+        operator's boundary column order).
+    sampling_seconds:
+        Wall-clock cost of drawing the plan (Table 12's overhead).
+    """
+
+    prop: SparseOp
+    kept_positions: np.ndarray
+    sampling_seconds: float
+
+
+def _finish(prop_matrix: sp.spmatrix, kept: np.ndarray, t0: float) -> EpochPlan:
+    return EpochPlan(
+        prop=SparseOp(prop_matrix),
+        kept_positions=np.asarray(kept, dtype=np.int64),
+        sampling_seconds=time.perf_counter() - t0,
+    )
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in MODES:
+        raise ValueError(f"unknown estimator mode {mode!r}; known: {MODES}")
+    return mode
+
+
+class BoundarySampler:
+    """Interface: produce an :class:`EpochPlan` per partition per epoch."""
+
+    name = "abstract"
+
+    def plan(self, rank_data, rng: np.random.Generator) -> EpochPlan:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FullBoundarySampler(BoundarySampler):
+    """No sampling — vanilla partition parallelism (BNS with p = 1).
+
+    Plans are computed once per rank and reused, so the per-epoch
+    sampling overhead is zero, matching Table 12's p = 1 row.
+    """
+
+    name = "full"
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def plan(self, rank_data, rng) -> EpochPlan:
+        key = rank_data.rank
+        if key not in self._cache:
+            t0 = time.perf_counter()
+            kept = np.arange(rank_data.p_bd.shape[1], dtype=np.int64)
+            if rank_data.p_bd.shape[1]:
+                prop = sp.hstack([rank_data.p_in, rank_data.p_bd], format="csr")
+            else:
+                prop = rank_data.p_in
+            self._cache[key] = _finish(prop, kept, t0)
+        cached = self._cache[key]
+        return EpochPlan(cached.prop, cached.kept_positions, 0.0)
+
+
+class BoundaryNodeSampler(BoundarySampler):
+    """BNS: keep each boundary node independently with probability p.
+
+    ``p = 0`` drops every boundary node (fully isolated training, the
+    pathological case of Section 4.3).
+    """
+
+    name = "bns"
+
+    def __init__(self, p: float, mode: str = "renorm") -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"sampling rate p must be in [0, 1], got {p}")
+        self.p = p
+        self.mode = _check_mode(mode)
+
+    def plan(self, rank_data, rng) -> EpochPlan:
+        t0 = time.perf_counter()
+        n_bd = rank_data.p_bd.shape[1]
+        if self.p == 0.0 or n_bd == 0:
+            kept = np.empty(0, dtype=np.int64)
+            if self.mode == "renorm":
+                return _finish(row_normalise(rank_data.a_in), kept, t0)
+            return _finish(rank_data.p_in, kept, t0)
+        keep = rng.random(n_bd) < self.p
+        kept = np.flatnonzero(keep)
+        if self.mode == "renorm":
+            if kept.size == 0:
+                return _finish(row_normalise(rank_data.a_in), kept, t0)
+            sub = rank_data.a_bd.tocsc()[:, kept].tocsr()
+            stacked = sp.hstack([rank_data.a_in, sub], format="csr")
+            return _finish(row_normalise(stacked), kept, t0)
+        # scale mode: fixed operator, kept columns rescaled by 1/p.
+        if kept.size == 0:
+            return _finish(rank_data.p_in, kept, t0)
+        sub = rank_data.p_bd.tocsc()[:, kept] * (1.0 / self.p)
+        stacked = sp.hstack([rank_data.p_in, sub.tocsr()], format="csr")
+        return _finish(stacked, kept, t0)
+
+
+class BoundaryEdgeSampler(BoundarySampler):
+    """BES: keep each boundary *edge* independently with probability q.
+
+    Only columns that lose *all* incident edges stop being
+    communicated, so traffic shrinks far slower than q (Table 9).
+    """
+
+    name = "bes"
+
+    def __init__(self, q: float, mode: str = "renorm") -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"edge keep rate q must be in [0, 1], got {q}")
+        self.q = q
+        self.mode = _check_mode(mode)
+
+    def plan(self, rank_data, rng) -> EpochPlan:
+        t0 = time.perf_counter()
+        bd = rank_data.a_bd if self.mode == "renorm" else rank_data.p_bd
+        inner = rank_data.a_in if self.mode == "renorm" else rank_data.p_in
+        n_bd = bd.shape[1]
+        if n_bd == 0 or self.q == 0.0:
+            kept = np.empty(0, dtype=np.int64)
+            prop = row_normalise(inner) if self.mode == "renorm" else inner
+            return _finish(prop, kept, t0)
+        coo = bd.tocoo()
+        keep_edge = rng.random(coo.nnz) < self.q
+        data = coo.data[keep_edge]
+        if self.mode == "scale" and self.q > 0:
+            data = data / self.q
+        sub = sp.coo_matrix(
+            (data, (coo.row[keep_edge], coo.col[keep_edge])), shape=bd.shape
+        ).tocsc()
+        kept = np.flatnonzero(np.diff(sub.indptr) > 0)
+        sub = sub[:, kept].tocsr()
+        stacked = sp.hstack([inner, sub], format="csr") if kept.size else inner
+        if self.mode == "renorm":
+            stacked = row_normalise(stacked)
+        return _finish(stacked, kept, t0)
+
+
+class DropEdgeSampler(BoundarySampler):
+    """DropEdge: drop edges uniformly over the whole local block.
+
+    Inner edges are dropped too (DropEdge's global semantics), which
+    perturbs computation without reducing communication much.
+    """
+
+    name = "dropedge"
+
+    def __init__(self, q: float, mode: str = "renorm") -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"edge keep rate q must be in [0, 1], got {q}")
+        self.q = q
+        self.mode = _check_mode(mode)
+
+    def plan(self, rank_data, rng) -> EpochPlan:
+        t0 = time.perf_counter()
+        bd = rank_data.a_bd if self.mode == "renorm" else rank_data.p_bd
+        inner = rank_data.a_in if self.mode == "renorm" else rank_data.p_in
+        scale = (1.0 / self.q) if (self.mode == "scale" and self.q > 0) else 1.0
+
+        def sample_block(block: sp.spmatrix) -> sp.csc_matrix:
+            coo = block.tocoo()
+            keep = rng.random(coo.nnz) < self.q
+            return sp.coo_matrix(
+                (coo.data[keep] * scale, (coo.row[keep], coo.col[keep])),
+                shape=block.shape,
+            ).tocsc()
+
+        inner_eff = sample_block(inner).tocsr()
+        sub = sample_block(bd)
+        kept = np.flatnonzero(np.diff(sub.indptr) > 0)
+        sub = sub[:, kept].tocsr()
+        stacked = (
+            sp.hstack([inner_eff, sub], format="csr") if kept.size else inner_eff
+        )
+        if self.mode == "renorm":
+            stacked = row_normalise(stacked)
+        return _finish(stacked, kept, t0)

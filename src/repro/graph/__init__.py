@@ -1,0 +1,23 @@
+"""Graph substrate: containers, generators, datasets, propagation ops."""
+
+from .graph import Graph
+from .generators import SyntheticSpec, generate_graph, planted_partition_adjacency
+from .datasets import DATASET_SPECS, dataset_spec, load_dataset, paper_partition_grid
+from .propagation import mean_aggregation, sym_norm, row_normalise
+from .io import save_graph, load_graph
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "Graph",
+    "SyntheticSpec",
+    "generate_graph",
+    "planted_partition_adjacency",
+    "DATASET_SPECS",
+    "dataset_spec",
+    "load_dataset",
+    "paper_partition_grid",
+    "mean_aggregation",
+    "sym_norm",
+    "row_normalise",
+]

@@ -1,0 +1,134 @@
+"""The :class:`Graph` container used across the library.
+
+A graph bundles an undirected adjacency structure (CSR), node features,
+labels (integer multiclass or binary multilabel) and train/val/test
+masks — the same payload a DGLGraph carries in the paper's artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Graph"]
+
+
+@dataclass
+class Graph:
+    """An attributed, undirected graph.
+
+    Attributes
+    ----------
+    adj:
+        ``(n, n)`` symmetric CSR adjacency with zero diagonal and
+        binary values.
+    features:
+        ``(n, d)`` float node features.
+    labels:
+        ``(n,)`` int class ids, or ``(n, L)`` binary multilabel matrix.
+    train_mask / val_mask / test_mask:
+        Boolean node masks; disjoint.
+    name:
+        Dataset identifier (for logging / tables).
+    multilabel:
+        True when labels is a binary matrix scored with micro-F1.
+    """
+
+    adj: sp.csr_matrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    name: str = "graph"
+    multilabel: bool = False
+
+    def __post_init__(self) -> None:
+        self.adj = sp.csr_matrix(self.adj)
+        n = self.adj.shape[0]
+        if self.adj.shape[0] != self.adj.shape[1]:
+            raise ValueError("adjacency must be square")
+        if self.features.shape[0] != n:
+            raise ValueError("features row count must match adjacency")
+        if self.labels.shape[0] != n:
+            raise ValueError("labels row count must match adjacency")
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = np.asarray(getattr(self, mask_name), dtype=bool)
+            if mask.shape != (n,):
+                raise ValueError(f"{mask_name} must be shape ({n},)")
+            setattr(self, mask_name, mask)
+        if (self.train_mask & self.val_mask).any() or (
+            self.train_mask & self.test_mask
+        ).any() or (self.val_mask & self.test_mask).any():
+            raise ValueError("train/val/test masks must be disjoint")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adj.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge stored twice in CSR)."""
+        return self.adj.nnz // 2
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        if self.multilabel:
+            return self.labels.shape[1]
+        return int(self.labels.max()) + 1
+
+    def degrees(self) -> np.ndarray:
+        return np.asarray(self.adj.sum(axis=1)).ravel().astype(np.int64)
+
+    @property
+    def avg_degree(self) -> float:
+        return float(self.degrees().mean())
+
+    def neighbors(self, v: int) -> np.ndarray:
+        start, end = self.adj.indptr[v], self.adj.indptr[v + 1]
+        return self.adj.indices[start:end]
+
+    def edge_list(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Directed edge list (both directions of every undirected edge)."""
+        coo = self.adj.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: np.ndarray) -> "Graph":
+        """Node-induced subgraph; masks/labels/features are sliced."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        sub_adj = self.adj[nodes][:, nodes].tocsr()
+        return Graph(
+            adj=sub_adj,
+            features=self.features[nodes],
+            labels=self.labels[nodes],
+            train_mask=self.train_mask[nodes],
+            val_mask=self.val_mask[nodes],
+            test_mask=self.test_mask[nodes],
+            name=f"{self.name}[sub{len(nodes)}]",
+            multilabel=self.multilabel,
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants (symmetry, zero diagonal, binary)."""
+        if (self.adj != self.adj.T).nnz != 0:
+            raise ValueError("adjacency must be symmetric")
+        if self.adj.diagonal().any():
+            raise ValueError("adjacency must have a zero diagonal")
+        if self.adj.nnz and not np.all(self.adj.data == 1.0):
+            raise ValueError("adjacency values must be binary")
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, n={self.num_nodes}, m={self.num_edges}, "
+            f"d={self.feature_dim}, classes={self.num_classes}, "
+            f"multilabel={self.multilabel})"
+        )

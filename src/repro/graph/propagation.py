@@ -1,0 +1,46 @@
+"""Propagation matrices for GCN-style aggregation.
+
+Two operators are used in the paper:
+
+* ``mean_aggregation`` — row-normalised adjacency ``D^{-1} A`` for the
+  GraphSAGE mean aggregator (Eq. 1 with ζ = mean, no self loop; the
+  self feature enters through the concat in Eq. 2).
+* ``sym_norm`` — ``D̃^{-1/2} (A + I) D̃^{-1/2}`` for vanilla GCN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import SparseOp
+
+__all__ = ["mean_aggregation", "sym_norm", "row_normalise"]
+
+
+def mean_aggregation(adj: sp.spmatrix) -> SparseOp:
+    """``P = D^{-1} A``; isolated nodes get an all-zero row."""
+    return SparseOp(row_normalise(sp.csr_matrix(adj)))
+
+
+def sym_norm(adj: sp.spmatrix, add_self_loops: bool = True) -> SparseOp:
+    """``P = D̃^{-1/2} Ã D̃^{-1/2}`` with Ã = A + I by default."""
+    a = sp.csr_matrix(adj, dtype=np.float64)
+    if add_self_loops:
+        a = a + sp.eye(a.shape[0], format="csr")
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        d_inv_sqrt = 1.0 / np.sqrt(deg)
+    d_inv_sqrt[~np.isfinite(d_inv_sqrt)] = 0.0
+    d_mat = sp.diags(d_inv_sqrt)
+    return SparseOp(d_mat @ a @ d_mat)
+
+
+def row_normalise(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Divide each row by its sum (zero rows stay zero)."""
+    m = sp.csr_matrix(matrix, dtype=np.float64)
+    row_sum = np.asarray(m.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / row_sum
+    inv[~np.isfinite(inv)] = 0.0
+    return sp.diags(inv) @ m

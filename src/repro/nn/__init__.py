@@ -1,0 +1,49 @@
+"""Neural-network substrate: modules, layers, models, losses, optimisers."""
+
+from .module import Module, Parameter
+from .layers import Linear, Dropout
+from .sage import SAGELayer
+from .gcn import GCNLayer
+from .gat import GATLayer
+from .models import GraphSAGEModel, GCNModel, GATModel, layer_dims
+from .optim import Optimizer, SGD, Adam
+from .schedulers import (
+    LRScheduler,
+    StepLR,
+    MultiStepLR,
+    CosineAnnealingLR,
+    LinearWarmupLR,
+    ReduceLROnPlateau,
+)
+from .checkpoint import save_checkpoint, load_checkpoint
+from .metrics import accuracy, f1_micro_multilabel, f1_micro_multiclass
+from . import functional
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Dropout",
+    "SAGELayer",
+    "GCNLayer",
+    "GATLayer",
+    "GraphSAGEModel",
+    "GCNModel",
+    "GATModel",
+    "layer_dims",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "LinearWarmupLR",
+    "ReduceLROnPlateau",
+    "save_checkpoint",
+    "load_checkpoint",
+    "accuracy",
+    "f1_micro_multilabel",
+    "f1_micro_multiclass",
+    "functional",
+]

@@ -1,0 +1,114 @@
+"""Checkpointing: save/restore model (and optimiser) state to ``.npz``.
+
+Long full-graph runs (the paper trains Reddit for 3000 epochs) need
+resumable state.  Checkpoints are plain compressed-numpy archives so
+they stay portable and inspectable; optimiser moments are stored under
+a reserved prefix next to the parameters.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .module import Module
+from .optim import Adam, Optimizer, SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint", "optimizer_state", "load_optimizer_state"]
+
+_OPT_PREFIX = "__opt__/"
+_META_PREFIX = "__meta__/"
+
+
+def optimizer_state(optimizer: Optimizer) -> Dict[str, np.ndarray]:
+    """Flatten an optimiser's internal buffers into named arrays."""
+    state: Dict[str, np.ndarray] = {f"{_META_PREFIX}lr": np.array(optimizer.lr)}
+    if isinstance(optimizer, Adam):
+        state[f"{_META_PREFIX}kind"] = np.array("adam")
+        state[f"{_META_PREFIX}t"] = np.array(optimizer._t)
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            if m is not None:
+                state[f"{_OPT_PREFIX}m{i}"] = m
+                state[f"{_OPT_PREFIX}v{i}"] = v
+    elif isinstance(optimizer, SGD):
+        state[f"{_META_PREFIX}kind"] = np.array("sgd")
+        for i, vel in enumerate(optimizer._velocity):
+            if vel is not None:
+                state[f"{_OPT_PREFIX}vel{i}"] = vel
+    else:
+        raise TypeError(f"unsupported optimizer type {type(optimizer).__name__}")
+    return state
+
+
+def load_optimizer_state(optimizer: Optimizer, state: Dict[str, np.ndarray]) -> None:
+    """Restore buffers produced by :func:`optimizer_state` in place."""
+    kind = str(state[f"{_META_PREFIX}kind"])
+    optimizer.lr = float(state[f"{_META_PREFIX}lr"])
+    if isinstance(optimizer, Adam):
+        if kind != "adam":
+            raise TypeError(f"checkpoint holds {kind} state, optimizer is Adam")
+        optimizer._t = int(state[f"{_META_PREFIX}t"])
+        for i in range(len(optimizer.params)):
+            if f"{_OPT_PREFIX}m{i}" in state:
+                optimizer._m[i] = state[f"{_OPT_PREFIX}m{i}"].copy()
+                optimizer._v[i] = state[f"{_OPT_PREFIX}v{i}"].copy()
+    elif isinstance(optimizer, SGD):
+        if kind != "sgd":
+            raise TypeError(f"checkpoint holds {kind} state, optimizer is SGD")
+        for i in range(len(optimizer.params)):
+            if f"{_OPT_PREFIX}vel{i}" in state:
+                optimizer._velocity[i] = state[f"{_OPT_PREFIX}vel{i}"].copy()
+    else:
+        raise TypeError(f"unsupported optimizer type {type(optimizer).__name__}")
+
+
+def save_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    epoch: int = 0,
+) -> str:
+    """Write model parameters (and optionally optimiser state) to ``path``.
+
+    Returns the path actually written (``.npz`` appended if missing).
+    """
+    arrays: Dict[str, np.ndarray] = dict(model.state_dict())
+    for key in list(arrays):
+        if key.startswith((_OPT_PREFIX, _META_PREFIX)):
+            raise ValueError(f"parameter name {key!r} collides with a reserved prefix")
+    arrays[f"{_META_PREFIX}epoch"] = np.array(epoch)
+    if optimizer is not None:
+        arrays.update(optimizer_state(optimizer))
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+) -> int:
+    """Restore a checkpoint in place; returns the stored epoch."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    params = {
+        k: v for k, v in arrays.items() if not k.startswith((_OPT_PREFIX, _META_PREFIX))
+    }
+    model.load_state_dict(params)
+    if optimizer is not None:
+        opt_keys = {
+            k: v for k, v in arrays.items() if k.startswith((_OPT_PREFIX, _META_PREFIX))
+        }
+        if f"{_META_PREFIX}kind" not in opt_keys:
+            raise KeyError("checkpoint has no optimizer state")
+        load_optimizer_state(optimizer, opt_keys)
+    return int(arrays[f"{_META_PREFIX}epoch"])

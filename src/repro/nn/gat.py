@@ -1,0 +1,115 @@
+"""Graph attention layer (Velickovic et al.) for the Table 10 experiment.
+
+GAT aggregates with learned, edge-wise attention instead of a fixed
+operator, so the layer works on an explicit edge list:
+
+  e_uv   = LeakyReLU(a_src · W h_u + a_dst · W h_v)
+  α_uv   = softmax over u ∈ N(v) of e_uv
+  h'_v   = Σ_u α_uv · W h_u          (per head; heads concatenated)
+
+Under BNS, edges whose source boundary node was dropped simply vanish
+from the edge list; the segment softmax renormalises over the surviving
+edges, so no 1/p correction is needed (attention is already a convex
+combination).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, concat_cols, gather_rows, leaky_relu, segment_softmax, segment_sum, xavier_uniform
+from .module import Module, Parameter
+
+__all__ = ["GATLayer"]
+
+
+class GATLayer(Module):
+    """Multi-head graph attention layer.
+
+    Parameters
+    ----------
+    in_features:
+        Input embedding width.
+    out_features:
+        Output width *per head*; the layer output is
+        ``num_heads * out_features`` wide (heads concatenated).
+    num_heads:
+        Number of attention heads.
+    negative_slope:
+        LeakyReLU slope for the attention logits.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        num_heads: int = 1,
+        negative_slope: float = 0.2,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.num_heads = num_heads
+        self.negative_slope = negative_slope
+        self.weight = Parameter(
+            xavier_uniform((in_features, num_heads * out_features), rng).data
+        )
+        # Attention vectors, one (a_src, a_dst) pair per head.
+        self.att_src = Parameter(xavier_uniform((num_heads, out_features), rng).data)
+        self.att_dst = Parameter(xavier_uniform((num_heads, out_features), rng).data)
+
+    def forward(
+        self,
+        h_all: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        n_dst: int,
+    ) -> Tensor:
+        """Run attention aggregation over the given edges.
+
+        Parameters
+        ----------
+        h_all:
+            ``(n_all, in)`` features of all candidate source nodes; the
+            first ``n_dst`` rows must be the destination (inner) nodes.
+        src / dst:
+            Edge endpoints; ``src`` indexes ``h_all`` rows, ``dst``
+            indexes ``[0, n_dst)``.
+        n_dst:
+            Number of destination nodes (output rows).
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have equal length")
+
+        wh = h_all @ self.weight  # (n_all, heads*out)
+        head_outputs = []
+        for k in range(self.num_heads):
+            lo, hi = k * self.out_features, (k + 1) * self.out_features
+            wh_k = wh[:, lo:hi]
+            # Per-node attention contributions.
+            s_src = wh_k @ self.att_src[k]  # (n_all,)
+            s_dst = wh_k @ self.att_dst[k]  # (n_all,) — only first n_dst used
+            logits = leaky_relu(
+                gather_rows(s_src, src) + gather_rows(s_dst, dst),
+                self.negative_slope,
+            )
+            alpha = segment_softmax(logits, dst, n_dst)
+            messages = gather_rows(wh_k, src) * alpha.reshape(-1, 1)
+            head_outputs.append(segment_sum(messages, dst, n_dst))
+        if self.num_heads == 1:
+            return head_outputs[0]
+        return concat_cols(head_outputs)
+
+    __call__ = forward
+
+    def flops(self, n_dst: int, n_all: int, n_edges: int) -> int:
+        """Forward FLOPs: projection + per-edge attention + aggregation."""
+        proj = 2 * n_all * self.in_features * self.num_heads * self.out_features
+        att = 4 * n_all * self.num_heads * self.out_features
+        per_edge = self.num_heads * (6 * n_edges + 2 * n_edges * self.out_features)
+        return proj + att + per_edge

@@ -1,0 +1,58 @@
+"""Vanilla GCN layer (Kipf & Welling): ``H' = P H W`` with
+``P = D̃^{-1/2} Ã D̃^{-1/2}``.
+
+Like :class:`~repro.nn.sage.SAGELayer` it is location-agnostic: the
+propagation operator may cover the full graph or one partition's
+``(inner, inner ∪ sampled-boundary)`` block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import SparseOp, Tensor, spmm, xavier_uniform
+from .module import Module, Parameter
+
+__all__ = ["GCNLayer"]
+
+
+class GCNLayer(Module):
+    """One GCN layer: aggregate with a (sym-normalised) operator, then
+    apply a linear transform."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng).data)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, prop: SparseOp, h_all: Tensor, h_self: Tensor = None) -> Tensor:
+        """``h_self`` is accepted (and ignored) so GCN and SAGE layers
+        are interchangeable inside the trainers."""
+        if prop.shape[1] != h_all.shape[0]:
+            raise ValueError(
+                f"operator cols {prop.shape[1]} != feature rows {h_all.shape[0]}"
+            )
+        # Transform first when it shrinks the width, aggregate first
+        # otherwise — same result, fewer FLOPs (standard GCN trick).
+        if self.in_features > self.out_features:
+            out = spmm(prop, h_all @ self.weight)
+        else:
+            out = spmm(prop, h_all) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+    def flops(self, n_self: int, n_all: int, nnz: int) -> int:
+        if self.in_features > self.out_features:
+            return 2 * n_all * self.in_features * self.out_features + 2 * nnz * self.out_features
+        return 2 * nnz * self.in_features + 2 * n_self * self.in_features * self.out_features

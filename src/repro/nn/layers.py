@@ -1,0 +1,56 @@
+"""Basic dense layers: Linear and Dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, dropout as dropout_op, xavier_uniform
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Dropout"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-uniform init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng).data)
+        self.bias: Optional[Parameter] = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+    def flops(self, n_rows: int) -> int:
+        """Multiply-accumulate count for ``n_rows`` input rows (×2 for MAC)."""
+        return 2 * n_rows * self.in_features * self.out_features
+
+
+class Dropout(Module):
+    """Inverted dropout whose randomness comes from a threaded RNG."""
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+
+    def forward(self, x: Tensor, rng: np.random.Generator) -> Tensor:
+        return dropout_op(x, self.rate, rng, training=self.training)
+
+    __call__ = forward

@@ -1,0 +1,166 @@
+"""Model containers: stacked GraphSAGE / GCN / GAT networks.
+
+A model is a thin list of layers plus dropout/activation policy.  The
+*trainers* orchestrate the forward pass layer-by-layer because in
+partition-parallel training a boundary-feature exchange happens
+between layers — the model cannot run itself end-to-end without the
+communication context.  ``full_forward`` is provided for the
+single-device baseline and for evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..tensor import SparseOp, Tensor, relu
+from .layers import Dropout
+from .module import Module
+from .gat import GATLayer
+from .gcn import GCNLayer
+from .sage import SAGELayer
+
+__all__ = ["GraphSAGEModel", "GCNModel", "GATModel", "layer_dims"]
+
+
+def layer_dims(in_dim: int, hidden_dim: int, out_dim: int, num_layers: int) -> List[int]:
+    """Widths [d_0, ..., d_L] for an L-layer model."""
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    if num_layers == 1:
+        return [in_dim, out_dim]
+    return [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+
+
+class _StackedModel(Module):
+    """Shared plumbing for SAGE/GCN stacks (layers + dropout + ReLU)."""
+
+    def __init__(self, dims: List[int], dropout: float) -> None:
+        super().__init__()
+        self.dims = dims
+        self.dropout = Dropout(dropout)
+        self.layers: List[Module] = []
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def full_forward(
+        self,
+        prop: SparseOp,
+        x: Tensor,
+        rng: np.random.Generator,
+    ) -> Tensor:
+        """Single-device forward over the whole graph."""
+        h = x
+        for i, layer in enumerate(self.layers):
+            h = self.dropout(h, rng)
+            h = layer(prop, h, h)
+            if i < len(self.layers) - 1:
+                h = relu(h)
+        return h
+
+
+class GraphSAGEModel(_StackedModel):
+    """L-layer GraphSAGE with mean aggregation — the paper's main model."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        out_dim: int,
+        num_layers: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        dims = layer_dims(in_dim, hidden_dim, out_dim, num_layers)
+        super().__init__(dims, dropout)
+        self.layers = [
+            SAGELayer(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+        ]
+
+    def layer_flops(self, layer_idx: int, n_self: int, n_all: int, nnz: int) -> int:
+        return self.layers[layer_idx].flops(n_self, n_all, nnz)
+
+
+class GCNModel(_StackedModel):
+    """L-layer vanilla GCN (sym-normalised propagation)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        out_dim: int,
+        num_layers: int,
+        dropout: float,
+        rng: np.random.Generator,
+    ) -> None:
+        dims = layer_dims(in_dim, hidden_dim, out_dim, num_layers)
+        super().__init__(dims, dropout)
+        self.layers = [
+            GCNLayer(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+        ]
+
+    def layer_flops(self, layer_idx: int, n_self: int, n_all: int, nnz: int) -> int:
+        return self.layers[layer_idx].flops(n_self, n_all, nnz)
+
+
+class GATModel(Module):
+    """L-layer GAT; hidden layers use ``num_heads`` concatenated heads,
+    the output layer uses a single head (standard configuration)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        out_dim: int,
+        num_layers: int,
+        dropout: float,
+        rng: np.random.Generator,
+        num_heads: int = 2,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.dropout = Dropout(dropout)
+        self.num_heads = num_heads
+        layers: List[GATLayer] = []
+        if num_layers == 1:
+            layers.append(GATLayer(in_dim, out_dim, rng, num_heads=1))
+            dims = [in_dim, out_dim]
+        else:
+            layers.append(GATLayer(in_dim, hidden_dim, rng, num_heads=num_heads))
+            dims = [in_dim, hidden_dim * num_heads]
+            for _ in range(num_layers - 2):
+                layers.append(
+                    GATLayer(hidden_dim * num_heads, hidden_dim, rng, num_heads=num_heads)
+                )
+                dims.append(hidden_dim * num_heads)
+            layers.append(GATLayer(hidden_dim * num_heads, out_dim, rng, num_heads=1))
+            dims.append(out_dim)
+        self.layers = layers
+        self.dims = dims
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def full_forward(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        x: Tensor,
+        rng: np.random.Generator,
+    ) -> Tensor:
+        """Single-device forward given the full edge list."""
+        n = x.shape[0]
+        h = x
+        from ..tensor import relu as _relu
+
+        for i, layer in enumerate(self.layers):
+            h = self.dropout(h, rng)
+            h = layer(h, src, dst, n)
+            if i < len(self.layers) - 1:
+                h = _relu(h)
+        return h

@@ -1,0 +1,96 @@
+"""Minimal module/parameter containers (the ``torch.nn.Module`` analogue).
+
+Modules auto-register parameters and sub-modules assigned as
+attributes, so ``model.parameters()`` finds every trainable tensor for
+the optimiser and for the AllReduce byte accounting in the distributed
+trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class providing parameter registration and (de)serialisation."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Module) for v in value
+        ):
+            for i, v in enumerate(value):
+                self._modules[f"{name}.{i}"] = v
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors of this module and its children."""
+        params: List[Tensor] = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        object.__setattr__(self, "training", True)
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        object.__setattr__(self, "training", False)
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].astype(np.float64).copy()

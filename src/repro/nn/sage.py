@@ -1,0 +1,87 @@
+"""GraphSAGE layer with a mean aggregator (the paper's Eq. 1-2 instance).
+
+Per layer:  ``z_v = mean_{u in N(v)} h_u``  and
+``h'_v = W @ concat(z_v, h_v) + b``  (activation applied by the model).
+
+The layer is *location-agnostic*: it takes a propagation operator of
+shape ``(n_self, n_all)`` plus the corresponding feature matrices, so
+the same layer object serves single-device full-graph training
+(``n_all = n_self = N``) and partition-parallel training
+(``n_all = |V_i| + |U_i|``, the inner block plus the sampled boundary
+block).  That property is what makes the "p = 1 equals full graph"
+equivalence test exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import SparseOp, Tensor, concat_cols, spmm, xavier_uniform
+from .module import Module, Parameter
+
+__all__ = ["SAGELayer"]
+
+
+class SAGELayer(Module):
+    """One GraphSAGE-mean layer.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output embedding widths.
+    rng:
+        Generator for Xavier init.
+    bias:
+        Whether to add a bias after the linear transform.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        # W acts on concat(z, h): shape (2*in, out).
+        self.weight = Parameter(xavier_uniform((2 * in_features, out_features), rng).data)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, prop: SparseOp, h_all: Tensor, h_self: Tensor) -> Tensor:
+        """Aggregate + update.
+
+        Parameters
+        ----------
+        prop:
+            ``(n_self, n_all)`` mean-aggregation operator.  Row *v*
+            holds ``1/deg(v)`` at the columns of *v*'s neighbours
+            (possibly rescaled by 1/p on sampled boundary columns).
+        h_all:
+            ``(n_all, in)`` features of every node the operator reads.
+        h_self:
+            ``(n_self, in)`` the nodes' own features for the update.
+        """
+        if prop.shape[0] != h_self.shape[0]:
+            raise ValueError(
+                f"operator rows {prop.shape[0]} != self rows {h_self.shape[0]}"
+            )
+        if prop.shape[1] != h_all.shape[0]:
+            raise ValueError(
+                f"operator cols {prop.shape[1]} != feature rows {h_all.shape[0]}"
+            )
+        z = spmm(prop, h_all)
+        zh = concat_cols([z, h_self])
+        out = zh @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+    def flops(self, n_self: int, n_all: int, nnz: int) -> int:
+        """Forward FLOPs: SpMM plus the dense update."""
+        spmm_cost = 2 * nnz * self.in_features
+        dense_cost = 2 * n_self * 2 * self.in_features * self.out_features
+        return spmm_cost + dense_cost

@@ -1,0 +1,165 @@
+"""Learning-rate schedulers.
+
+The paper trains with a fixed learning rate, but any library release
+of a distributed GCN trainer needs schedules: at small sampling rates
+the gradient noise floor rises (Table 2's variance bound scales with
+``1/s_ℓ``), and decaying the step size recovers the tail of
+convergence.  All schedulers mutate ``optimizer.lr`` in place and are
+driven by an explicit :meth:`step` per epoch, mirroring the PyTorch
+convention so downstream code ports directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .optim import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "LinearWarmupLR",
+    "ReduceLROnPlateau",
+]
+
+
+class LRScheduler:
+    """Base class: remembers the initial rate and the epoch counter."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the rate now in effect."""
+        self.last_epoch += 1
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1
+    ) -> None:
+        super().__init__(optimizer)
+        self.milestones: List[int] = sorted(milestones)
+        if self.milestones and self.milestones[0] < 0:
+            raise ValueError("milestones must be non-negative")
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if m <= epoch)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        cos = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class LinearWarmupLR(LRScheduler):
+    """Ramp linearly from ~0 to the base rate over ``warmup`` epochs,
+    then hand over to an optional inner scheduler (epoch-shifted)."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup: int,
+        after: LRScheduler = None,
+    ) -> None:
+        if warmup <= 0:
+            raise ValueError(f"warmup must be positive, got {warmup}")
+        super().__init__(optimizer)
+        self.warmup = warmup
+        self.after = after
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch < self.warmup:
+            return self.base_lr * (epoch + 1) / self.warmup
+        if self.after is not None:
+            return self.after.get_lr(epoch - self.warmup)
+        return self.base_lr
+
+
+class ReduceLROnPlateau(LRScheduler):
+    """Multiply the rate by ``factor`` when the monitored metric stops
+    improving for ``patience`` consecutive steps.
+
+    Unlike the epoch-indexed schedulers, :meth:`step` takes the metric
+    value (higher-is-better by default, e.g. validation accuracy).
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 10,
+        mode: str = "max",
+        min_lr: float = 0.0,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        super().__init__(optimizer)
+        self.factor = factor
+        self.patience = patience
+        self.mode = mode
+        self.min_lr = min_lr
+        self.best = -math.inf if mode == "max" else math.inf
+        self.bad_steps = 0
+
+    def _improved(self, value: float) -> bool:
+        return value > self.best if self.mode == "max" else value < self.best
+
+    def step(self, metric: float = None) -> float:  # type: ignore[override]
+        if metric is None:
+            raise ValueError("ReduceLROnPlateau.step requires the metric value")
+        self.last_epoch += 1
+        if self._improved(metric):
+            self.best = metric
+            self.bad_steps = 0
+        else:
+            self.bad_steps += 1
+            if self.bad_steps > self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                self.bad_steps = 0
+        return self.optimizer.lr
+
+    def get_lr(self, epoch: int) -> float:
+        return self.optimizer.lr

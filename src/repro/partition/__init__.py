@@ -1,0 +1,60 @@
+"""Partitioning substrate: METIS-like multilevel and random partitioners
+plus the boundary/communication analysis of Section 3.1."""
+
+from typing import Optional
+
+import numpy as np
+
+from .types import PartitionResult
+from .random_part import random_partition
+from .metis_like import metis_like_partition, MetisLikeConfig
+from .spectral import spectral_partition, SpectralConfig
+from .analysis import (
+    PartitionStats,
+    boundary_inner_table,
+    communication_volume,
+    edge_cut,
+    partition_stats,
+    ratio_distribution,
+    sender_degrees,
+)
+
+__all__ = [
+    "PartitionResult",
+    "random_partition",
+    "metis_like_partition",
+    "MetisLikeConfig",
+    "spectral_partition",
+    "SpectralConfig",
+    "PartitionStats",
+    "boundary_inner_table",
+    "communication_volume",
+    "edge_cut",
+    "partition_stats",
+    "ratio_distribution",
+    "sender_degrees",
+    "partition_graph",
+]
+
+
+def partition_graph(
+    graph,
+    num_parts: int,
+    method: str = "metis",
+    seed: int = 0,
+    objective: str = "volume",
+) -> PartitionResult:
+    """Facade: partition a :class:`~repro.graph.Graph`.
+
+    ``method`` is "metis" (multilevel, default), "spectral"
+    (normalised-Laplacian embedding + balanced k-means) or "random".
+    """
+    if method == "random":
+        rng = np.random.default_rng(seed)
+        return random_partition(graph.num_nodes, num_parts, rng)
+    if method == "metis":
+        cfg = MetisLikeConfig(objective=objective, seed=seed)
+        return metis_like_partition(graph.adj, num_parts, cfg)
+    if method == "spectral":
+        return spectral_partition(graph.adj, num_parts, SpectralConfig(seed=seed))
+    raise ValueError(f"unknown partition method {method!r}")

@@ -1,0 +1,76 @@
+"""Partition result container and invariant checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["PartitionResult"]
+
+
+@dataclass
+class PartitionResult:
+    """A k-way node partition of a graph.
+
+    Attributes
+    ----------
+    assignment:
+        ``(n,)`` int array mapping node -> partition id in ``[0, k)``.
+    num_parts:
+        ``k``.
+    method:
+        Identifier of the partitioner that produced it.
+    """
+
+    assignment: np.ndarray
+    num_parts: int
+    method: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.assignment = np.asarray(self.assignment, dtype=np.int64)
+        if self.assignment.ndim != 1:
+            raise ValueError("assignment must be 1-D")
+        if self.num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= self.num_parts
+        ):
+            raise ValueError("assignment ids must lie in [0, num_parts)")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.assignment.shape[0]
+
+    def inner_nodes(self, part: int) -> np.ndarray:
+        """Global ids of partition ``part``'s inner nodes (sorted)."""
+        return np.flatnonzero(self.assignment == part)
+
+    def part_sizes(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+    def boundary_nodes(self, adj: sp.csr_matrix, part: int) -> np.ndarray:
+        """Global ids of nodes outside ``part`` adjacent to its inner set.
+
+        This is the paper's boundary node set B_i: remote nodes whose
+        features partition *i* must receive to aggregate its inner
+        nodes (Section 3.1).
+        """
+        inner = self.inner_nodes(part)
+        if inner.size == 0:
+            return np.empty(0, dtype=np.int64)
+        neigh = adj[inner].indices
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        mask[neigh] = True
+        mask[inner] = False
+        return np.flatnonzero(mask)
+
+    def all_boundary_nodes(self, adj: sp.csr_matrix) -> List[np.ndarray]:
+        return [self.boundary_nodes(adj, i) for i in range(self.num_parts)]
+
+    def validate(self) -> None:
+        sizes = self.part_sizes()
+        if sizes.sum() != self.num_nodes:
+            raise AssertionError("partition does not cover all nodes")

@@ -1,0 +1,54 @@
+"""Autograd substrate: numpy-backed tensors, ops, sparse matmul, init."""
+
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled, unbroadcast
+from .ops import (
+    concat_cols,
+    concat_rows,
+    dropout,
+    exp,
+    gather_rows,
+    leaky_relu,
+    log,
+    log_softmax,
+    relu,
+    scatter_rows,
+    segment_softmax,
+    segment_sum,
+    sigmoid,
+    softmax,
+    stack_mean,
+    tanh,
+)
+from .sparse import SparseOp, spmm
+from .init import make_rng, xavier_normal, xavier_uniform, kaiming_uniform, zeros
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "exp",
+    "log",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "gather_rows",
+    "scatter_rows",
+    "segment_sum",
+    "segment_softmax",
+    "concat_rows",
+    "concat_cols",
+    "stack_mean",
+    "SparseOp",
+    "spmm",
+    "make_rng",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "zeros",
+]

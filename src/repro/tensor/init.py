@@ -1,0 +1,58 @@
+"""Weight initialisation and RNG plumbing.
+
+Every stochastic component in the library (weight init, dropout,
+boundary-node sampling, dataset synthesis, baseline samplers) draws
+from an explicitly threaded ``np.random.Generator`` so that a single
+seed reproduces an entire experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["make_rng", "xavier_uniform", "xavier_normal", "zeros", "kaiming_uniform"]
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """Create a ``Generator``; ``None`` gives OS entropy."""
+    return np.random.default_rng(seed)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform init — the DGL default for SAGEConv."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot-normal initialised parameter tensor."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> Tensor:
+    """He-uniform initialised parameter tensor (ReLU fan-in scaling)."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(3.0 / fan_in)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def zeros(shape: Tuple[int, ...]) -> Tensor:
+    """Zero-initialised parameter tensor (biases)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,98 @@
+"""Sparse matrix support: constant CSR operators and autograd SpMM.
+
+GCN aggregation is a sparse-dense matmul ``Z = P @ H`` where ``P`` is a
+fixed propagation matrix derived from the adjacency structure.  We wrap
+``scipy.sparse.csr_matrix`` in :class:`SparseOp` and provide
+:func:`spmm` whose backward multiplies by ``P.T`` — exactly what DGL's
+``update_all`` with a copy/sum message function compiles to.
+
+The matrix values never require gradients (attention-weighted
+aggregation for GAT is built from edge-level ops in
+:mod:`repro.tensor.ops` instead), so the implementation stays simple
+and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["SparseOp", "spmm"]
+
+
+class SparseOp:
+    """An immutable sparse linear operator (CSR) used in aggregation.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix; converted to CSR.  Treated as a
+        constant: no gradients flow into the values.
+    """
+
+    __slots__ = ("csr",)
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        self.csr: sp.csr_matrix = sp.csr_matrix(matrix, dtype=np.float64)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    def select_columns(self, cols: np.ndarray, scale: float = 1.0) -> "SparseOp":
+        """Restrict the operator to a subset of columns.
+
+        ``cols`` are column indices of the original matrix; the result
+        has ``len(cols)`` columns in that order, optionally scaled.
+        This implements the BNS column selection: keeping only the
+        sampled boundary nodes' columns and rescaling them by ``1/p``.
+        """
+        sub = self.csr[:, np.asarray(cols, dtype=np.int64)]
+        if scale != 1.0:
+            sub = sub * scale
+        return SparseOp(sub)
+
+    def scale_columns(self, factors: np.ndarray) -> "SparseOp":
+        """Return a copy with column ``j`` multiplied by ``factors[j]``."""
+        diag = sp.diags(np.asarray(factors, dtype=np.float64))
+        return SparseOp(self.csr @ diag)
+
+    def hstack(self, other: "SparseOp") -> "SparseOp":
+        """Concatenate two operators column-wise ([A | B])."""
+        return SparseOp(sp.hstack([self.csr, other.csr], format="csr"))
+
+    def transpose(self) -> "SparseOp":
+        return SparseOp(self.csr.T.tocsr())
+
+    def toarray(self) -> np.ndarray:
+        return self.csr.toarray()
+
+    def frobenius_norm_sq(self) -> float:
+        """||P||_F^2 — appears in the variance bound (Appendix A)."""
+        return float((self.csr.data ** 2).sum())
+
+    def __repr__(self) -> str:
+        return f"SparseOp(shape={self.shape}, nnz={self.nnz})"
+
+
+def spmm(op: SparseOp, dense: Tensor) -> Tensor:
+    """Sparse @ dense with autograd through the dense operand.
+
+    Forward: ``out = P @ H``.  Backward: ``dH = P.T @ dOut``.
+    """
+    dense = as_tensor(dense)
+    out_data = op.csr @ dense.data
+    csr_t = op.csr.T.tocsr()
+
+    def backward(g: np.ndarray):
+        return ((dense, csr_t @ g),)
+
+    return Tensor._make(out_data, (dense,), "spmm", backward)

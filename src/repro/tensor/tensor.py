@@ -1,0 +1,403 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the substrate that replaces PyTorch's autograd in the
+BNS-GCN reproduction.  A :class:`Tensor` wraps an ``np.ndarray`` and
+records the operations applied to it on a dynamic tape; calling
+:meth:`Tensor.backward` on a scalar result walks the tape in reverse
+topological order and accumulates gradients into every tensor created
+with ``requires_grad=True``.
+
+The design follows the "define-by-run" style: each op constructs the
+output tensor eagerly and attaches a closure that knows how to push the
+output's gradient back to its parents.  Gradients are plain numpy
+arrays (never Tensors), so the engine is first-order only — exactly
+what GCN training needs.
+
+Broadcasting is fully supported: gradients flowing into a broadcast
+operand are summed over the broadcast axes by :func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables tape recording.
+
+    Used for evaluation passes so that inference does not build (and
+    hold onto) an autograd graph.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new ops are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    When an operand of shape ``shape`` was broadcast up to ``grad.shape``
+    during the forward pass, the chain rule requires summing the
+    incoming gradient over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``np.ndarray``.  Stored as float64 by
+        default for numerically robust gradient checks; integer arrays
+        are kept as-is (they cannot require gradients).
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind in ("i", "u", "b"):
+            if requires_grad:
+                raise ValueError("integer tensors cannot require gradients")
+        elif arr.dtype != np.float64:
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = _parents if _GRAD_ENABLED else ()
+        self._op: str = _op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a single-element tensor")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op or 'leaf'}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph bookkeeping
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's ``.grad`` buffer."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (the tensor must be scalar in that
+        case, matching the usual loss.backward() idiom).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            node._accumulate(g)
+            if node._backward is None:
+                continue
+            for parent, pg in node._backward(g):
+                if pg is None:
+                    continue
+                pid = id(parent)
+                if pid in grads:
+                    grads[pid] = grads[pid] + pg
+                else:
+                    grads[pid] = pg
+
+    # ------------------------------------------------------------------
+    # Op construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        op: str,
+        backward: Callable[[np.ndarray], Iterable[Tuple["Tensor", Optional[np.ndarray]]]],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=tuple(parents), _op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, unbroadcast(g, self.shape)),
+                (other, unbroadcast(g, other.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), "add", backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, unbroadcast(g, self.shape)),
+                (other, unbroadcast(-g, other.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), "sub", backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, unbroadcast(g * other.data, self.shape)),
+                (other, unbroadcast(g * self.data, other.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, unbroadcast(g / other.data, self.shape)),
+                (other, unbroadcast(-g * self.data / (other.data ** 2), other.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), "div", backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return ((self, -g),)
+
+        return Tensor._make(-self.data, (self,), "neg", backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(g: np.ndarray):
+            return ((self, g * exponent * self.data ** (exponent - 1)),)
+
+        return Tensor._make(out_data, (self,), "pow", backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray):
+            if self.data.ndim == 1 and other.data.ndim == 1:
+                return ((self, g * other.data), (other, g * self.data))
+            if self.data.ndim == 1:
+                # (k,) @ (k, n) -> (n,)
+                return ((self, g @ other.data.T), (other, np.outer(self.data, g)))
+            if other.data.ndim == 1:
+                # (m, k) @ (k,) -> (m,)
+                return ((self, np.outer(g, other.data)), (other, self.data.T @ g))
+            return ((self, g @ other.data.T), (other, self.data.T @ g))
+
+        return Tensor._make(out_data, (self, other), "matmul", backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            g_arr = np.asarray(g)
+            if axis is None:
+                expanded = np.broadcast_to(g_arr, self.shape)
+            else:
+                if not keepdims:
+                    g_arr = np.expand_dims(g_arr, axis)
+                expanded = np.broadcast_to(g_arr, self.shape)
+            return ((self, expanded.copy()),)
+
+        return Tensor._make(out_data, (self,), "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            g_arr = np.asarray(g)
+            out = out_data
+            if axis is not None and not keepdims:
+                g_arr = np.expand_dims(g_arr, axis)
+                out = np.expand_dims(out, axis)
+            mask = (self.data == out).astype(np.float64)
+            # Split gradient evenly among ties to keep the op well-defined.
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return ((self, g_arr * mask / denom),)
+
+        return Tensor._make(out_data, (self,), "max", backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray):
+            return ((self, g.reshape(old_shape)),)
+
+        return Tensor._make(out_data, (self,), "reshape", backward)
+
+    @property
+    def T(self) -> "Tensor":
+        def backward(g: np.ndarray):
+            return ((self, g.T),)
+
+        return Tensor._make(self.data.T, (self,), "transpose", backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, g)
+            return ((self, full),)
+
+        return Tensor._make(out_data, (self,), "getitem", backward)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

@@ -1,0 +1,123 @@
+"""Bench harness: tables, time model, config runner plumbing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_CONFIGS,
+    SECONDS_PER_SAMPLER_EDGE,
+    banner,
+    baseline_epoch_seconds,
+    format_series,
+    format_table,
+    get_graph,
+    get_partition,
+    make_model,
+    make_trainer,
+    memory_for,
+    sampler_overhead_fraction,
+    save_result,
+)
+from repro.core import BoundaryNodeSampler
+
+
+class TestTables:
+    def test_basic_table(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 0.0001]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment(self):
+        out = format_table(["col"], [["longvalue"], ["x"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_series(self):
+        out = format_series("x", [1, 2], {"y1": [10, 20], "y2": [30, 40]})
+        assert "y1" in out and "40" in out
+
+    def test_banner(self):
+        out = banner("Hello")
+        assert "Hello" in out
+        assert "=====" in out
+
+
+class TestTimeModel:
+    def test_compute_only(self):
+        t = baseline_epoch_seconds(8e11, 0)
+        assert t == pytest.approx(1.0)
+
+    def test_sampling_adds(self):
+        t = baseline_epoch_seconds(0, 1e9)
+        assert t == pytest.approx(1e9 * SECONDS_PER_SAMPLER_EDGE)
+
+    def test_overhead_fraction_bounds(self):
+        f = sampler_overhead_fraction(1e10, 1e9)
+        assert 0.0 < f < 1.0
+
+    def test_overhead_zero_when_no_sampling(self):
+        assert sampler_overhead_fraction(1e10, 0) == 0.0
+
+    def test_graphsaint_calibration_ballpark(self):
+        """The constant should put edge-proportional samplers in the
+        ~20% overhead regime the GraphSAINT paper reports."""
+        # A subgraph whose sampling touches as many edges as one
+        # forward pass aggregates, with d=128 features:
+        nnz = 1e7
+        flops = 3 * 2 * nnz * 128 * 2  # 2 layers, fwd+bwd
+        frac = sampler_overhead_fraction(flops, nnz)
+        assert 0.05 < frac < 0.5
+
+
+class TestHarness:
+    def test_configs_cover_datasets(self):
+        assert set(BENCH_CONFIGS) == {
+            "reddit-sim", "products-sim", "yelp-sim", "papers-sim"
+        }
+
+    def test_graph_cached(self):
+        a = get_graph("yelp-sim")
+        b = get_graph("yelp-sim")
+        assert a is b
+
+    def test_partition_cached(self):
+        a = get_partition("yelp-sim", 3)
+        b = get_partition("yelp-sim", 3)
+        assert a is b
+
+    def test_make_model_dims(self):
+        g = get_graph("yelp-sim")
+        cfg = BENCH_CONFIGS["yelp-sim"]
+        m = make_model(g, cfg)
+        assert m.num_layers == cfg.num_layers
+        assert m.dims[0] == g.feature_dim
+        assert m.dims[-1] == g.num_classes
+
+    def test_make_trainer_runs_epoch(self):
+        t = make_trainer("yelp-sim", 3, BoundaryNodeSampler(0.5))
+        loss = t.train_epoch()
+        assert np.isfinite(loss)
+
+    def test_memory_for_decreases_with_p(self):
+        hi = memory_for("yelp-sim", 3, 1.0).sum()
+        lo = memory_for("yelp-sim", 3, 0.1).sum()
+        assert lo < hi
+
+    def test_save_result_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.harness as hz
+
+        monkeypatch.setattr(hz, "RESULTS_DIR", str(tmp_path))
+        path = hz.save_result("unit-test", "hello world")
+        assert os.path.exists(path)
+        assert "hello world" in open(path).read()

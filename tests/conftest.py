@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic graphs, partitions and models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import SyntheticSpec, generate_graph
+from repro.partition import partition_graph
+
+
+TINY_SPEC = SyntheticSpec(
+    n=120,
+    num_communities=4,
+    avg_degree=8.0,
+    homophily=0.8,
+    degree_exponent=2.5,
+    feature_dim=12,
+    feature_signal=0.5,
+    name="tiny",
+)
+
+SMALL_SPEC = SyntheticSpec(
+    n=400,
+    num_communities=8,
+    avg_degree=12.0,
+    homophily=0.75,
+    degree_exponent=2.0,
+    feature_dim=16,
+    feature_signal=0.3,
+    name="small",
+)
+
+MULTILABEL_SPEC = SyntheticSpec(
+    n=200,
+    num_communities=5,
+    avg_degree=8.0,
+    homophily=0.8,
+    feature_dim=12,
+    feature_signal=0.5,
+    multilabel=True,
+    num_labels=6,
+    labels_per_node=2.0,
+    name="tiny-multilabel",
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    return generate_graph(TINY_SPEC, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    return generate_graph(SMALL_SPEC, seed=5)
+
+
+@pytest.fixture(scope="session")
+def multilabel_graph():
+    return generate_graph(MULTILABEL_SPEC, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_partition(tiny_graph):
+    return partition_graph(tiny_graph, 3, method="metis", seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_partition(small_graph):
+    return partition_graph(small_graph, 4, method="metis", seed=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,142 @@
+"""Sampling-rate auto-tuning (Appendix E operationalised)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedTrainer,
+    PerPartitionSampler,
+    balanced_rates,
+    max_rate_for_memory,
+)
+from repro.dist import MemoryModel
+from repro.dist.systems import build_workload
+from repro.nn import GraphSAGEModel
+from repro.nn.models import layer_dims
+
+
+@pytest.fixture()
+def workload(small_graph, small_partition):
+    dims = layer_dims(small_graph.feature_dim, 16, small_graph.num_classes, 2)
+    return build_workload(small_graph, small_partition, dims, model_params=1000)
+
+
+def mem_at(workload, rates):
+    mm = MemoryModel()
+    return mm.per_partition_bytes(
+        workload.inner_sizes,
+        workload.boundary_sizes * np.asarray(rates),
+        workload.layer_dims,
+        workload.model_params,
+    )
+
+
+class TestMaxRateForMemory:
+    def test_huge_budget_gives_one(self, workload):
+        assert max_rate_for_memory(workload, 1e15) == 1.0
+
+    def test_impossible_budget_gives_minus_one(self, workload):
+        assert max_rate_for_memory(workload, 1.0) == -1.0
+
+    def test_mid_budget_is_tight(self, workload):
+        lo = mem_at(workload, np.zeros(workload.num_parts)).max()
+        hi = mem_at(workload, np.ones(workload.num_parts)).max()
+        budget = (lo + hi) / 2
+        p = max_rate_for_memory(workload, budget)
+        assert 0.0 < p < 1.0
+        # Fits at p, violates at slightly higher p.
+        assert mem_at(workload, np.full(workload.num_parts, p)).max() <= budget * (1 + 1e-9)
+        worse = mem_at(workload, np.full(workload.num_parts, min(p + 0.05, 1.0)))
+        assert worse.max() > budget
+
+    def test_monotone_in_budget(self, workload):
+        budgets = np.linspace(
+            mem_at(workload, np.zeros(workload.num_parts)).max() * 1.01,
+            mem_at(workload, np.ones(workload.num_parts)).max() * 1.01,
+            5,
+        )
+        ps = [max_rate_for_memory(workload, b) for b in budgets]
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+
+    def test_rejects_nonpositive_budget(self, workload):
+        with pytest.raises(ValueError):
+            max_rate_for_memory(workload, 0.0)
+
+
+class TestBalancedRates:
+    def test_never_below_target(self, workload):
+        rates = balanced_rates(workload, p_target=0.1)
+        assert (rates >= 0.1 - 1e-12).all()
+        assert (rates <= 1.0 + 1e-12).all()
+
+    def test_straggler_keeps_target(self, workload):
+        rates = balanced_rates(workload, p_target=0.1)
+        mem_uniform = mem_at(workload, np.full(workload.num_parts, 0.1))
+        straggler = int(np.argmax(mem_uniform))
+        assert rates[straggler] == pytest.approx(0.1, abs=1e-9)
+
+    def test_reduces_memory_spread(self, workload):
+        uniform = np.full(workload.num_parts, 0.1)
+        balanced = balanced_rates(workload, p_target=0.1)
+        mem_u = mem_at(workload, uniform)
+        mem_b = mem_at(workload, balanced)
+        # Max unchanged (straggler pinned), min raised -> spread shrinks.
+        assert mem_b.max() <= mem_u.max() * (1 + 1e-9)
+        assert (mem_b.max() - mem_b.min()) <= (mem_u.max() - mem_u.min()) + 1e-6
+
+    def test_p_max_caps(self, workload):
+        rates = balanced_rates(workload, p_target=0.1, p_max=0.3)
+        assert (rates <= 0.3 + 1e-12).all()
+
+    def test_target_one_is_identity(self, workload):
+        rates = balanced_rates(workload, p_target=1.0)
+        np.testing.assert_allclose(rates, 1.0)
+
+    def test_validates_arguments(self, workload):
+        with pytest.raises(ValueError):
+            balanced_rates(workload, p_target=1.5)
+        with pytest.raises(ValueError):
+            balanced_rates(workload, p_target=0.5, p_max=0.4)
+
+
+class TestPerPartitionSampler:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            PerPartitionSampler([])
+        with pytest.raises(ValueError):
+            PerPartitionSampler([0.5, 1.5])
+
+    def test_rank_rate_is_applied(self, small_graph, small_partition):
+        from repro.core.bns import PartitionRuntime
+
+        runtime = PartitionRuntime(small_graph, small_partition)
+        m = small_partition.num_parts
+        # rate 1 on rank 0, rate 0 on the others.
+        sampler = PerPartitionSampler([1.0] + [0.0] * (m - 1))
+        rng = np.random.default_rng(0)
+        plan0 = sampler.plan(runtime.ranks[0], rng)
+        assert len(plan0.kept_positions) == runtime.ranks[0].n_boundary
+        plan1 = sampler.plan(runtime.ranks[1], rng)
+        assert len(plan1.kept_positions) == 0
+
+    def test_too_few_rates_raises(self, small_graph, small_partition):
+        from repro.core.bns import PartitionRuntime
+
+        runtime = PartitionRuntime(small_graph, small_partition)
+        sampler = PerPartitionSampler([0.5])
+        rng = np.random.default_rng(0)
+        with pytest.raises(IndexError):
+            sampler.plan(runtime.ranks[1], rng)
+
+    def test_trains_end_to_end(self, small_graph, small_partition, workload):
+        rates = balanced_rates(workload, p_target=0.3)
+        model = GraphSAGEModel(
+            small_graph.feature_dim, 16, small_graph.num_classes, 2, 0.0,
+            np.random.default_rng(0),
+        )
+        t = DistributedTrainer(
+            small_graph, small_partition, model,
+            PerPartitionSampler(rates), lr=0.01,
+        )
+        h = t.train(15)
+        assert h.loss[-1] < h.loss[0]

@@ -1,0 +1,87 @@
+"""Property-based tests for the sampling-rate auto-tuner: the Eq. 4
+memory model is affine in p, so these invariants must hold on *any*
+workload, not just the fixture graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import balanced_rates, max_rate_for_memory
+from repro.dist import MemoryModel
+from repro.dist.systems import Workload
+
+
+@st.composite
+def workloads(draw):
+    m = draw(st.integers(2, 12))
+    inner = draw(
+        st.lists(st.integers(50, 5000), min_size=m, max_size=m)
+    )
+    boundary = draw(
+        st.lists(st.integers(0, 20000), min_size=m, max_size=m)
+    )
+    # Pair matrix consistent with the boundary totals: attribute each
+    # B_i to a single other rank (enough for the memory model, which
+    # only reads the column sums).
+    pair = np.zeros((m, m), dtype=np.int64)
+    for i, b in enumerate(boundary):
+        pair[(i + 1) % m, i] = b
+    dims = draw(st.lists(st.integers(4, 128), min_size=2, max_size=4))
+    return Workload(
+        inner_sizes=np.array(inner),
+        boundary_pair_counts=pair,
+        nnz_inner=np.array(inner) * 4,
+        nnz_boundary=np.array(boundary),
+        layer_dims=dims,
+        model_params=draw(st.integers(0, 100000)),
+        num_nodes=int(sum(inner)),
+    )
+
+
+def memory(workload, rates):
+    return MemoryModel().per_partition_bytes(
+        workload.inner_sizes,
+        workload.boundary_sizes * np.asarray(rates),
+        workload.layer_dims,
+        workload.model_params,
+    )
+
+
+class TestMaxRateProperties:
+    @given(workloads(), st.floats(0.05, 0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_returned_rate_fits_budget(self, w, frac):
+        lo = memory(w, np.zeros(w.num_parts)).max()
+        hi = memory(w, np.ones(w.num_parts)).max()
+        budget = lo + frac * (hi - lo)
+        p = max_rate_for_memory(w, budget)
+        if p < 0:
+            assert lo > budget
+        else:
+            assert memory(w, np.full(w.num_parts, p)).max() <= budget * (1 + 1e-9)
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_full_budget_is_one(self, w):
+        hi = memory(w, np.ones(w.num_parts)).max()
+        assert max_rate_for_memory(w, hi * 1.001) == 1.0
+
+
+class TestBalancedRatesProperties:
+    @given(workloads(), st.floats(0.01, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_and_peak(self, w, p_target):
+        rates = balanced_rates(w, p_target=p_target)
+        assert (rates >= p_target - 1e-12).all()
+        assert (rates <= 1.0 + 1e-12).all()
+        mem_u = memory(w, np.full(w.num_parts, p_target))
+        mem_b = memory(w, rates)
+        # Peak never grows; spread never grows.
+        assert mem_b.max() <= mem_u.max() * (1 + 1e-9)
+        assert (mem_b.max() - mem_b.min()) <= (mem_u.max() - mem_u.min()) + 1e-6
+
+    @given(workloads(), st.floats(0.01, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_rate_never_worse(self, w, p_target):
+        rates = balanced_rates(w, p_target=p_target)
+        assert rates.mean() >= p_target - 1e-12

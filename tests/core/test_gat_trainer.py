@@ -1,0 +1,97 @@
+"""Distributed GAT trainer (Table 10's subject)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedGATTrainer
+from repro.dist import RTX2080TI_CLUSTER
+from repro.nn import GATModel
+from repro.partition import partition_graph
+
+
+def make_model(graph, seed=0, heads=2):
+    return GATModel(
+        graph.feature_dim, 8, graph.num_classes, 2, 0.1,
+        np.random.default_rng(seed), num_heads=heads,
+    )
+
+
+@pytest.fixture(scope="module")
+def gat_setup(small_graph):
+    part = partition_graph(small_graph, 3, method="metis", seed=0)
+    return small_graph, part
+
+
+class TestConstruction:
+    def test_invalid_p(self, gat_setup):
+        g, part = gat_setup
+        with pytest.raises(ValueError):
+            DistributedGATTrainer(g, part, make_model(g), p=2.0)
+
+    def test_edge_lists_include_self_loops(self, gat_setup):
+        g, part = gat_setup
+        trainer = DistributedGATTrainer(g, part, make_model(g), p=1.0)
+        for i, edges in enumerate(trainer._edges):
+            n_in = trainer.runtime.ranks[i].n_inner
+            # Each inner node has a self loop among the inner edges.
+            pairs = set(zip(edges.src_inner.tolist(), edges.dst_inner.tolist()))
+            assert all((v, v) in pairs for v in range(n_in))
+
+
+class TestTraining:
+    def test_loss_finite_and_decreases(self, gat_setup):
+        g, part = gat_setup
+        trainer = DistributedGATTrainer(g, part, make_model(g), p=0.5, lr=0.01)
+        history = trainer.train(15)
+        assert np.isfinite(history.loss[-1])
+        assert history.loss[-1] < history.loss[0]
+
+    def test_comm_scales_with_p(self, gat_setup):
+        g, part = gat_setup
+        t_full = DistributedGATTrainer(g, part, make_model(g), p=1.0)
+        t_full.train_epoch()
+        t_low = DistributedGATTrainer(g, part, make_model(g, seed=1), p=0.1, seed=0)
+        t_low.train_epoch()
+        full_fwd = t_full.comm.total_bytes("forward")
+        low_fwd = t_low.comm.total_bytes("forward")
+        assert low_fwd < 0.35 * full_fwd
+
+    def test_p_zero_no_boundary_traffic(self, gat_setup):
+        g, part = gat_setup
+        trainer = DistributedGATTrainer(g, part, make_model(g), p=0.0)
+        trainer.train_epoch()
+        assert trainer.comm.total_bytes("forward") == 0
+
+    def test_modeled_breakdown_recorded(self, gat_setup):
+        g, part = gat_setup
+        trainer = DistributedGATTrainer(
+            g, part, make_model(g), p=0.5, cluster=RTX2080TI_CLUSTER
+        )
+        trainer.train(3)
+        assert len(trainer.history.modeled) == 3
+        assert trainer.history.modeled[0].total > 0
+
+    def test_speedup_ordering_in_model(self, gat_setup):
+        """Table 10's shape: modelled epoch time decreases as p drops."""
+        g, part = gat_setup
+        totals = {}
+        for p in (1.0, 0.1, 0.0):
+            trainer = DistributedGATTrainer(
+                g, part, make_model(g), p=p, cluster=RTX2080TI_CLUSTER, seed=0
+            )
+            trainer.train(2)
+            totals[p] = np.mean([b.total for b in trainer.history.modeled])
+        assert totals[0.0] <= totals[0.1] <= totals[1.0]
+
+    def test_evaluate_full_graph(self, gat_setup):
+        g, part = gat_setup
+        trainer = DistributedGATTrainer(g, part, make_model(g), p=0.5)
+        scores = trainer.evaluate()
+        assert set(scores) == {"train", "val", "test"}
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    def test_learns(self, gat_setup):
+        g, part = gat_setup
+        trainer = DistributedGATTrainer(g, part, make_model(g), p=0.5, lr=0.01)
+        history = trainer.train(40, eval_every=40)
+        assert history.test_metric[-1] > 2.0 / g.num_classes

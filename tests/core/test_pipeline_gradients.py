@@ -1,0 +1,109 @@
+"""Stale-gradient (ghost-loss) correctness for the pipelined trainer.
+
+The construction: epoch t harvests dL/d(gathered stale blocks) and
+epoch t+1 adds <stop_grad(g), h_current[rows]> to the loss, so the
+owners receive last epoch's remote-neighbour gradients through their
+current forward path.  Two exact consequences are tested:
+
+* with (nearly) frozen weights the feature trajectory is static, so
+  stale == fresh and the pipelined *parameter gradients* must match
+  the synchronous trainer's bit-for-bit (up to the weight drift);
+* with a single partition there are no boundary nodes, so pipelined
+  training is identical to synchronous training at every epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedTrainer, FullBoundarySampler, PipelinedTrainer
+from repro.nn import GraphSAGEModel, SGD
+from repro.partition import partition_graph
+
+
+def paired(graph, seed=42):
+    a = GraphSAGEModel(
+        graph.feature_dim, 12, graph.num_classes, 2, 0.0,
+        np.random.default_rng(seed),
+    )
+    b = GraphSAGEModel(
+        graph.feature_dim, 12, graph.num_classes, 2, 0.0,
+        np.random.default_rng(seed + 1),
+    )
+    b.load_state_dict(a.state_dict())
+    return a, b
+
+
+class TestFrozenWeightEquivalence:
+    def test_gradients_match_synchronous(self, small_graph, small_partition):
+        m_sync, m_pipe = paired(small_graph)
+        # Near-zero step size: the parameter trajectory is effectively
+        # frozen, so stale features equal fresh features.
+        t_sync = DistributedTrainer(
+            small_graph, small_partition, m_sync, FullBoundarySampler(),
+            optimizer=SGD(m_sync.parameters(), lr=1e-300),
+        )
+        t_pipe = PipelinedTrainer(
+            small_graph, small_partition, m_pipe, FullBoundarySampler(),
+            optimizer=SGD(m_pipe.parameters(), lr=1e-300),
+        )
+        for epoch in range(3):
+            t_sync.train_epoch()
+            t_pipe.train_epoch()
+            if epoch == 0:
+                # Warm-up: remote gradients are harvested but arrive
+                # one epoch later, so epoch 0 legitimately differs.
+                continue
+            for ps, pp in zip(m_sync.parameters(), m_pipe.parameters()):
+                np.testing.assert_allclose(
+                    pp.grad, ps.grad, rtol=1e-9, atol=1e-12,
+                    err_msg=f"epoch {epoch}",
+                )
+
+    def test_losses_match_with_frozen_weights(self, small_graph, small_partition):
+        m_sync, m_pipe = paired(small_graph)
+        t_sync = DistributedTrainer(
+            small_graph, small_partition, m_sync, FullBoundarySampler(),
+            optimizer=SGD(m_sync.parameters(), lr=1e-300),
+        )
+        t_pipe = PipelinedTrainer(
+            small_graph, small_partition, m_pipe, FullBoundarySampler(),
+            optimizer=SGD(m_pipe.parameters(), lr=1e-300),
+        )
+        for _ in range(3):
+            ls = t_sync.train_epoch()
+            lp = t_pipe.train_epoch()
+            # The ghost terms perturb the *objective*, but the recorded
+            # loss is the task loss only — identical when frozen.
+            assert ls == pytest.approx(lp, rel=1e-12)
+
+
+class TestSinglePartition:
+    def test_no_boundary_means_exact_equivalence(self, small_graph):
+        part = partition_graph(small_graph, 1, method="random", seed=0)
+        m_sync, m_pipe = paired(small_graph)
+        t_sync = DistributedTrainer(small_graph, part, m_sync, lr=0.01)
+        t_pipe = PipelinedTrainer(small_graph, part, m_pipe, lr=0.01)
+        for _ in range(4):
+            assert t_sync.train_epoch() == pytest.approx(
+                t_pipe.train_epoch(), abs=1e-12
+            )
+        for ps, pp in zip(m_sync.parameters(), m_pipe.parameters()):
+            np.testing.assert_allclose(pp.data, ps.data, atol=1e-12)
+
+
+class TestGhostBookkeeping:
+    def test_stale_grads_harvested_each_epoch(self, small_graph, small_partition):
+        _, model = paired(small_graph)
+        t = PipelinedTrainer(small_graph, small_partition, model, lr=0.01)
+        t.train_epoch()
+        assert len(t._stale_grads) > 0
+        for layer_idx, owner, rows, grad in t._stale_grads:
+            assert grad.shape[0] == len(rows)
+            assert np.isfinite(grad).all()
+
+    def test_reset_clears_ghosts(self, small_graph, small_partition):
+        _, model = paired(small_graph)
+        t = PipelinedTrainer(small_graph, small_partition, model, lr=0.01)
+        t.train_epoch()
+        t.reset_pipeline()
+        assert t._stale_grads == []

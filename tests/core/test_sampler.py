@@ -1,0 +1,194 @@
+"""BNS / BES / DropEdge sampler semantics (+ hypothesis properties)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    DropEdgeSampler,
+    FullBoundarySampler,
+    PartitionRuntime,
+)
+from repro.partition import partition_graph
+
+
+@pytest.fixture(scope="module")
+def rank_data(small_graph):
+    part = partition_graph(small_graph, 3, method="metis", seed=0)
+    runtime = PartitionRuntime(small_graph, part)
+    # Pick the rank with the largest boundary for meaningful sampling.
+    return max(runtime.ranks, key=lambda r: r.n_boundary)
+
+
+def fresh_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestFullSampler:
+    def test_keeps_everything(self, rank_data):
+        plan = FullBoundarySampler().plan(rank_data, fresh_rng())
+        assert len(plan.kept_positions) == rank_data.n_boundary
+        assert plan.prop.shape == (
+            rank_data.n_inner,
+            rank_data.n_inner + rank_data.n_boundary,
+        )
+
+    def test_cached_zero_overhead(self, rank_data):
+        s = FullBoundarySampler()
+        s.plan(rank_data, fresh_rng())
+        plan2 = s.plan(rank_data, fresh_rng())
+        assert plan2.sampling_seconds == 0.0
+
+    def test_operator_matches_p_blocks(self, rank_data):
+        plan = FullBoundarySampler().plan(rank_data, fresh_rng())
+        expected = sp.hstack([rank_data.p_in, rank_data.p_bd]).toarray()
+        np.testing.assert_allclose(plan.prop.toarray(), expected)
+
+
+class TestBNS:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            BoundaryNodeSampler(1.5)
+        with pytest.raises(ValueError):
+            BoundaryNodeSampler(-0.1)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            BoundaryNodeSampler(0.5, mode="magic")
+
+    def test_p_zero_drops_all(self, rank_data):
+        plan = BoundaryNodeSampler(0.0).plan(rank_data, fresh_rng())
+        assert plan.kept_positions.size == 0
+        assert plan.prop.shape == (rank_data.n_inner, rank_data.n_inner)
+
+    def test_p_one_keeps_all(self, rank_data):
+        plan = BoundaryNodeSampler(1.0, mode="scale").plan(rank_data, fresh_rng())
+        assert len(plan.kept_positions) == rank_data.n_boundary
+
+    def test_binomial_kept_count(self, rank_data):
+        p = 0.3
+        counts = [
+            len(BoundaryNodeSampler(p).plan(rank_data, fresh_rng(s)).kept_positions)
+            for s in range(60)
+        ]
+        mean = np.mean(counts)
+        expected = p * rank_data.n_boundary
+        sigma = np.sqrt(rank_data.n_boundary * p * (1 - p))
+        assert abs(mean - expected) < 3 * sigma / np.sqrt(60) + 1
+
+    def test_scale_mode_rescales_by_inverse_p(self, rank_data):
+        p = 0.5
+        plan = BoundaryNodeSampler(p, mode="scale").plan(rank_data, fresh_rng(1))
+        kept = plan.kept_positions
+        got = plan.prop.toarray()[:, rank_data.n_inner:]
+        expected = rank_data.p_bd.toarray()[:, kept] / p
+        np.testing.assert_allclose(got, expected)
+
+    def test_scale_mode_unbiased(self, rank_data):
+        """E[P̃ @ H̃] == P @ H over many draws (the Appendix A premise)."""
+        rng_feat = np.random.default_rng(9)
+        h_in = rng_feat.normal(size=(rank_data.n_inner, 4))
+        h_bd = rng_feat.normal(size=(rank_data.n_boundary, 4))
+        exact = rank_data.p_in @ h_in + rank_data.p_bd @ h_bd
+        total = np.zeros_like(exact)
+        n_draws = 400
+        sampler = BoundaryNodeSampler(0.3, mode="scale")
+        for s in range(n_draws):
+            plan = sampler.plan(rank_data, fresh_rng(s))
+            h_all = np.vstack([h_in, h_bd[plan.kept_positions]])
+            total += plan.prop.csr @ h_all
+        mean = total / n_draws
+        err = np.abs(mean - exact).max()
+        scale = np.abs(exact).max()
+        assert err < 0.15 * scale
+
+    def test_renorm_mode_rows_sum_to_one(self, rank_data):
+        plan = BoundaryNodeSampler(0.3, mode="renorm").plan(rank_data, fresh_rng(3))
+        sums = np.asarray(plan.prop.csr.sum(axis=1)).ravel()
+        nonzero = sums[sums > 0]
+        np.testing.assert_allclose(nonzero, 1.0)
+
+    def test_renorm_p1_matches_full(self, rank_data):
+        plan = BoundaryNodeSampler(1.0, mode="renorm").plan(rank_data, fresh_rng())
+        full = FullBoundarySampler().plan(rank_data, fresh_rng())
+        np.testing.assert_allclose(
+            plan.prop.toarray(), full.prop.toarray(), atol=1e-12
+        )
+
+    def test_kept_positions_sorted(self, rank_data):
+        plan = BoundaryNodeSampler(0.4).plan(rank_data, fresh_rng(2))
+        assert (np.diff(plan.kept_positions) > 0).all()
+
+    def test_deterministic_given_rng(self, rank_data):
+        a = BoundaryNodeSampler(0.4).plan(rank_data, fresh_rng(5)).kept_positions
+        b = BoundaryNodeSampler(0.4).plan(rank_data, fresh_rng(5)).kept_positions
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.floats(min_value=0.05, max_value=0.95), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_operator_shape_matches_kept(self, p, seed):
+        rd = self._rank_data
+        plan = BoundaryNodeSampler(p).plan(rd, fresh_rng(seed))
+        assert plan.prop.shape == (
+            rd.n_inner, rd.n_inner + len(plan.kept_positions)
+        )
+
+    @pytest.fixture(autouse=True)
+    def _attach(self, rank_data):
+        self._rank_data = rank_data
+
+
+class TestBES:
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            BoundaryEdgeSampler(-0.5)
+
+    def test_q_one_keeps_all(self, rank_data):
+        plan = BoundaryEdgeSampler(1.0).plan(rank_data, fresh_rng())
+        assert len(plan.kept_positions) == rank_data.n_boundary
+
+    def test_q_zero_drops_all(self, rank_data):
+        plan = BoundaryEdgeSampler(0.0).plan(rank_data, fresh_rng())
+        assert plan.kept_positions.size == 0
+
+    def test_kept_columns_have_edges(self, rank_data):
+        plan = BoundaryEdgeSampler(0.3).plan(rank_data, fresh_rng(1))
+        bd_block = plan.prop.csr[:, rank_data.n_inner:]
+        col_nnz = np.diff(bd_block.tocsc().indptr)
+        assert (col_nnz > 0).all()
+
+    def test_bes_keeps_more_nodes_than_bns_at_equal_edge_drop(self, rank_data):
+        """Table 9's mechanism: at the same number of dropped edges,
+        edge sampling still needs to communicate far more nodes."""
+        q = 0.5
+        bes_kept = len(
+            BoundaryEdgeSampler(q).plan(rank_data, fresh_rng(3)).kept_positions
+        )
+        bns_kept = len(
+            BoundaryNodeSampler(q).plan(rank_data, fresh_rng(3)).kept_positions
+        )
+        assert bes_kept > bns_kept
+
+
+class TestDropEdge:
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            DropEdgeSampler(1.01)
+
+    def test_q_one_keeps_all(self, rank_data):
+        plan = DropEdgeSampler(1.0).plan(rank_data, fresh_rng())
+        assert len(plan.kept_positions) == rank_data.n_boundary
+
+    def test_drops_inner_edges_too(self, rank_data):
+        plan = DropEdgeSampler(0.3).plan(rank_data, fresh_rng(1))
+        inner_block = plan.prop.csr[:, : rank_data.n_inner]
+        assert inner_block.nnz < rank_data.a_in.nnz
+
+    def test_renorm_rows_convex(self, rank_data):
+        plan = DropEdgeSampler(0.5, mode="renorm").plan(rank_data, fresh_rng(2))
+        sums = np.asarray(plan.prop.csr.sum(axis=1)).ravel()
+        nonzero = sums[sums > 0]
+        np.testing.assert_allclose(nonzero, 1.0)

@@ -1,0 +1,69 @@
+"""Trainer loop features: early stopping and scheduler integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedTrainer, FullBoundarySampler
+from repro.nn import CosineAnnealingLR, GraphSAGEModel, ReduceLROnPlateau, StepLR
+
+
+def make_trainer(graph, partition, lr=0.01, seed=0):
+    model = GraphSAGEModel(
+        graph.feature_dim, 16, graph.num_classes, 2, 0.0,
+        np.random.default_rng(seed),
+    )
+    return DistributedTrainer(
+        graph, partition, model, FullBoundarySampler(), lr=lr, seed=seed
+    )
+
+
+class TestEarlyStopping:
+    def test_requires_eval_every(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition)
+        with pytest.raises(ValueError):
+            t.train(10, patience=2)
+
+    def test_stops_before_budget_when_stalled(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition, lr=0.0001)
+        # Tiny lr: val metric barely moves, patience=1 fires quickly.
+        h = t.train(200, eval_every=2, patience=1)
+        assert len(h.loss) < 200
+
+    def test_runs_full_budget_without_patience(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition)
+        h = t.train(12, eval_every=4)
+        assert len(h.loss) == 12
+
+    def test_history_consistent_after_stop(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition, lr=0.0001)
+        h = t.train(100, eval_every=2, patience=1)
+        assert len(h.val_metric) == len(h.test_metric) == len(h.eval_epochs)
+        assert h.eval_epochs[-1] == len(h.loss) - 1
+
+
+class TestSchedulerIntegration:
+    def test_step_lr_decays_during_training(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition, lr=0.01)
+        sched = StepLR(t.optimizer, step_size=5, gamma=0.1)
+        t.train(10, scheduler=sched)
+        assert t.optimizer.lr == pytest.approx(0.001)
+
+    def test_cosine_reaches_floor(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition, lr=0.01)
+        sched = CosineAnnealingLR(t.optimizer, t_max=20, eta_min=1e-4)
+        t.train(20, scheduler=sched)
+        assert t.optimizer.lr < 0.001
+
+    def test_plateau_steps_on_evaluations_only(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition, lr=0.01)
+        sched = ReduceLROnPlateau(t.optimizer, factor=0.5, patience=1000)
+        t.train(9, eval_every=3, scheduler=sched)
+        # 3 evaluations -> 3 plateau steps, no decay at huge patience.
+        assert sched.last_epoch == 2
+        assert t.optimizer.lr == pytest.approx(0.01)
+
+    def test_scheduled_training_still_learns(self, small_graph, small_partition):
+        t = make_trainer(small_graph, small_partition, lr=0.01)
+        sched = CosineAnnealingLR(t.optimizer, t_max=40)
+        h = t.train(40, eval_every=10)
+        assert h.loss[-1] < h.loss[0]

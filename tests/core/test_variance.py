@@ -1,0 +1,143 @@
+"""Variance analysis (Table 2 / Appendix A): estimators and bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import PartitionRuntime
+from repro.core.variance import (
+    OneStepProblem,
+    analytic_bounds,
+    bns_estimate,
+    empirical_variance,
+    fastgcn_estimate,
+    gamma_bound,
+    graphsage_estimate,
+    ladies_estimate,
+)
+from repro.partition import partition_graph
+
+
+@pytest.fixture(scope="module")
+def problem(small_graph):
+    part = partition_graph(small_graph, 3, method="metis", seed=0)
+    runtime = PartitionRuntime(small_graph, part)
+    rank = max(runtime.ranks, key=lambda r: r.n_boundary)
+    rng = np.random.default_rng(0)
+    d, d_out = 8, 6
+    return OneStepProblem(
+        p_in=rank.p_in,
+        p_bd=rank.p_bd,
+        a_in=rank.a_in,
+        a_bd=rank.a_bd,
+        h_in=rng.normal(size=(rank.n_inner, d)),
+        h_bd=rng.normal(size=(rank.n_boundary, d)),
+        weight=rng.normal(size=(d, d_out)) / np.sqrt(d),
+    )
+
+
+class TestEstimatorsBasics:
+    def test_exact_shape(self, problem):
+        assert problem.exact.shape == (problem.n_inner, 6)
+
+    def test_bns_p1_exact(self, problem):
+        est = bns_estimate(problem, 1.0, np.random.default_rng(0), mode="scale")
+        np.testing.assert_allclose(est, problem.exact, atol=1e-10)
+
+    def test_bns_invalid_p(self, problem):
+        with pytest.raises(ValueError):
+            bns_estimate(problem, 0.0, np.random.default_rng(0))
+
+    def test_bns_bad_mode(self, problem):
+        with pytest.raises(ValueError):
+            bns_estimate(problem, 0.5, np.random.default_rng(0), mode="nope")
+
+    def test_bns_scale_unbiased(self, problem):
+        draws = 300
+        total = np.zeros_like(problem.exact)
+        for s in range(draws):
+            total += bns_estimate(problem, 0.4, np.random.default_rng(s), "scale")
+        mean = total / draws
+        err = np.abs(mean - problem.exact).max()
+        assert err < 0.1 * np.abs(problem.exact).max() + 0.05
+
+    def test_gamma_positive(self, problem):
+        assert gamma_bound(problem) > 0
+
+
+class TestVarianceOrdering:
+    """Table 2: Var(BNS) < Var(LADIES) < Var(FastGCN) at matched s."""
+
+    def test_ordering(self, problem):
+        p = 0.3
+        s = max(int(p * problem.n_boundary), 1)
+        draws = 120
+        v_bns = empirical_variance(
+            lambda rng: bns_estimate(problem, p, rng, "scale"),
+            problem.exact, draws,
+        )
+        v_ladies = empirical_variance(
+            lambda rng: ladies_estimate(problem, s, rng), problem.exact, draws
+        )
+        v_fast = empirical_variance(
+            lambda rng: fastgcn_estimate(problem, s, rng), problem.exact, draws
+        )
+        assert v_bns < v_ladies
+        assert v_ladies <= v_fast * 1.05  # LADIES ≤ FastGCN (within noise)
+
+    def test_renorm_lower_variance_than_scale(self, problem):
+        """The self-normalised estimator (what the official code runs)
+        has lower variance than the 1/p-scaled one — the reason we use
+        it as the training default."""
+        p = 0.3
+        draws = 120
+        v_scale = empirical_variance(
+            lambda rng: bns_estimate(problem, p, rng, "scale"), problem.exact, draws
+        )
+        v_renorm = empirical_variance(
+            lambda rng: bns_estimate(problem, p, rng, "renorm"), problem.exact, draws
+        )
+        assert v_renorm < v_scale
+
+    def test_variance_decreases_with_p(self, problem):
+        draws = 100
+        vs = [
+            empirical_variance(
+                lambda rng: bns_estimate(problem, p, rng, "scale"),
+                problem.exact, draws,
+            )
+            for p in (0.1, 0.5, 0.9)
+        ]
+        assert vs[0] > vs[1] > vs[2]
+
+    def test_graphsage_positive_variance(self, problem):
+        v = empirical_variance(
+            lambda rng: graphsage_estimate(problem, 3, rng), problem.exact, 30
+        )
+        assert v > 0
+
+
+class TestAppendixBound:
+    def test_empirical_below_bound(self, problem):
+        """Appendix A: E‖Z̃−Z‖²_F / n ≤ γ²‖P_bd‖²_F / (p·n)."""
+        p = 0.3
+        v = empirical_variance(
+            lambda rng: bns_estimate(problem, p, rng, "scale"),
+            problem.exact, 150,
+        )
+        bound = analytic_bounds(problem, p)["BNS-GCN (appendix bound)"]
+        assert v <= bound
+
+    def test_bound_ordering_matches_table2(self, problem):
+        # B_i ⊊ N_i always; N_i = V can coincide on small graphs whose
+        # receptive field covers everything, hence <= on the right.
+        b = analytic_bounds(problem, 0.3)
+        assert b["BNS-GCN"] < b["LADIES"] <= b["FastGCN"]
+
+    def test_set_inclusions(self, problem):
+        b = analytic_bounds(problem, 0.3)
+        assert b["|B_i|"] <= b["|N_i|"] <= b["|V|"]
+
+    def test_bound_shrinks_with_p(self, problem):
+        lo = analytic_bounds(problem, 0.1)["BNS-GCN (appendix bound)"]
+        hi = analytic_bounds(problem, 0.9)["BNS-GCN (appendix bound)"]
+        assert lo > hi

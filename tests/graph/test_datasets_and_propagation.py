@@ -1,0 +1,105 @@
+"""Dataset registry + propagation matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    DATASET_SPECS,
+    dataset_spec,
+    load_dataset,
+    mean_aggregation,
+    paper_partition_grid,
+    row_normalise,
+    sym_norm,
+)
+
+from ..util import ring_graph
+
+
+class TestRegistry:
+    def test_all_four_datasets_present(self):
+        assert set(DATASET_SPECS) == {
+            "reddit-sim", "products-sim", "yelp-sim", "papers-sim"
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dataset_spec("imagenet")
+
+    def test_scale_shrinks_n(self):
+        full = dataset_spec("reddit-sim")
+        half = dataset_spec("reddit-sim", scale=0.5)
+        assert half.n == full.n // 2
+
+    def test_scale_floor_keeps_communities_populated(self):
+        tiny = dataset_spec("reddit-sim", scale=0.001)
+        assert tiny.n >= 4 * tiny.num_communities
+
+    def test_yelp_is_multilabel(self):
+        assert DATASET_SPECS["yelp-sim"].multilabel
+
+    def test_products_has_distribution_shift(self):
+        assert DATASET_SPECS["products-sim"].test_feature_noise > 0
+
+    def test_partition_grids_match_paper(self):
+        assert paper_partition_grid["reddit-sim"] == [2, 4, 8]
+        assert paper_partition_grid["products-sim"] == [5, 8, 10]
+        assert paper_partition_grid["yelp-sim"] == [3, 6, 10]
+        assert paper_partition_grid["papers-sim"] == [192]
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("yelp-sim", scale=0.05, seed=3)
+        b = load_dataset("yelp-sim", scale=0.05, seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_reddit_denser_than_products(self):
+        # The paper's key density contrast must survive scaling.
+        r = dataset_spec("reddit-sim")
+        p = dataset_spec("products-sim")
+        assert r.avg_degree > 1.5 * p.avg_degree
+
+
+class TestPropagation:
+    def test_mean_rows_sum_to_one(self):
+        prop = mean_aggregation(ring_graph(6))
+        np.testing.assert_allclose(
+            np.asarray(prop.csr.sum(axis=1)).ravel(), np.ones(6)
+        )
+
+    def test_mean_isolated_node_zero_row(self):
+        adj = sp.csr_matrix((3, 3))
+        prop = mean_aggregation(adj)
+        assert prop.nnz == 0
+
+    def test_mean_no_self_loops(self):
+        prop = mean_aggregation(ring_graph(5))
+        assert not prop.csr.diagonal().any()
+
+    def test_sym_norm_has_self_loops(self):
+        prop = sym_norm(ring_graph(5))
+        assert (prop.csr.diagonal() > 0).all()
+
+    def test_sym_norm_without_self_loops(self):
+        prop = sym_norm(ring_graph(5), add_self_loops=False)
+        assert not prop.csr.diagonal().any()
+
+    def test_sym_norm_symmetric(self):
+        prop = sym_norm(ring_graph(7))
+        diff = prop.csr - prop.csr.T
+        assert abs(diff).max() < 1e-12
+
+    def test_sym_norm_spectral_radius_at_most_one(self):
+        prop = sym_norm(ring_graph(10))
+        eigs = np.linalg.eigvalsh(prop.toarray())
+        assert eigs.max() <= 1.0 + 1e-9
+
+    def test_row_normalise_zero_rows_stay_zero(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 3.0]]))
+        out = row_normalise(m)
+        np.testing.assert_allclose(out.toarray(), [[0, 0], [0.25, 0.75]])
+
+    def test_row_normalise_preserves_sparsity(self):
+        m = ring_graph(6)
+        out = row_normalise(m)
+        assert out.nnz == m.nnz

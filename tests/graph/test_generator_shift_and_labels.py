@@ -1,0 +1,107 @@
+"""New generator behaviours: community-coherent distribution shift and
+the strong-label multilabel scheme."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import SyntheticSpec, generate_graph
+
+
+def spec(**kw):
+    base = dict(
+        n=300, num_communities=5, avg_degree=8.0, homophily=0.8,
+        feature_dim=16, feature_signal=0.5, name="t",
+    )
+    base.update(kw)
+    return SyntheticSpec(**base)
+
+
+class TestCommunityShift:
+    def test_zero_shift_is_noop(self):
+        a = generate_graph(spec(community_shift=0.0), seed=4)
+        b = generate_graph(spec(community_shift=0.0), seed=4)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_shift_changes_heldout_only(self):
+        # Same seed: the base graph matches; only val/test features move.
+        a = generate_graph(spec(community_shift=0.0), seed=4)
+        b = generate_graph(spec(community_shift=2.0), seed=4)
+        train = a.train_mask
+        np.testing.assert_array_equal(a.features[train], b.features[train])
+        assert not np.allclose(a.features[~train], b.features[~train])
+
+    def test_shift_is_community_coherent(self):
+        # Nodes of the same community share one delta: the pairwise
+        # difference of shifted features equals that of the unshifted
+        # ones within a community.
+        a = generate_graph(spec(community_shift=0.0), seed=4)
+        b = generate_graph(spec(community_shift=2.0), seed=4)
+        delta = b.features - a.features
+        held = ~(a.train_mask)
+        # Recover communities from labels (multiclass labels = community).
+        for c in range(5):
+            rows = delta[held & (a.labels == c)]
+            if len(rows) >= 2:
+                np.testing.assert_allclose(rows[0], rows[1], atol=1e-12)
+
+    def test_shift_scale_tracks_feature_signal(self):
+        lo = generate_graph(spec(community_shift=1.0, feature_signal=0.1), seed=7)
+        hi = generate_graph(spec(community_shift=1.0, feature_signal=2.0), seed=7)
+        lo0 = generate_graph(spec(community_shift=0.0, feature_signal=0.1), seed=7)
+        hi0 = generate_graph(spec(community_shift=0.0, feature_signal=2.0), seed=7)
+        d_lo = np.abs(lo.features - lo0.features).mean()
+        d_hi = np.abs(hi.features - hi0.features).mean()
+        assert d_hi > 5 * d_lo
+
+
+class TestStrongLabelMultilabel:
+    def test_label_matrix_shape_and_dtype(self):
+        g = generate_graph(
+            spec(multilabel=True, num_labels=12, labels_per_node=3.0), seed=2
+        )
+        assert g.labels.shape == (300, 12)
+        assert set(np.unique(g.labels)) <= {0.0, 1.0}
+
+    def test_mean_active_labels_near_target(self):
+        g = generate_graph(
+            spec(n=2000, multilabel=True, num_labels=20, labels_per_node=3.0),
+            seed=2,
+        )
+        per_node = g.labels.sum(axis=1).mean()
+        # ~3 strong labels at 0.85 + 17 background at 0.05 = ~3.4
+        assert 2.5 < per_node < 4.5
+
+    def test_communities_have_distinct_strong_labels(self):
+        g = generate_graph(
+            spec(n=2000, multilabel=True, num_labels=20, labels_per_node=3.0),
+            seed=2,
+        )
+        # Group nodes by community via the generator's determinism:
+        # regenerate the multiclass variant with the same seed to
+        # recover community ids.
+        ref = generate_graph(spec(n=2000), seed=2)
+        rates = np.stack([
+            g.labels[ref.labels == c].mean(axis=0) for c in range(5)
+        ])
+        # Each community has >= 2 labels with activation far above the
+        # 5% background rate.
+        assert ((rates > 0.5).sum(axis=1) >= 2).all()
+        # And communities do not all share one strong set.
+        strong_sets = [frozenset(np.flatnonzero(r > 0.5)) for r in rates]
+        assert len(set(strong_sets)) > 1
+
+    def test_learnable_above_chance(self, multilabel_graph):
+        # The conftest multilabel graph must support non-trivial F1
+        # (the old flat-rate scheme capped it near zero).
+        from repro.baselines import FullGraphTrainer
+        from repro.nn import GraphSAGEModel
+
+        model = GraphSAGEModel(
+            multilabel_graph.feature_dim, 16, multilabel_graph.num_classes,
+            2, 0.0, np.random.default_rng(0),
+        )
+        t = FullGraphTrainer(multilabel_graph, model, lr=0.01)
+        for _ in range(60):
+            t.train_epoch()
+        scores = t.evaluate()
+        assert scores["test"] > 0.4

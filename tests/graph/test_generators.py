@@ -1,0 +1,141 @@
+"""Synthetic graph generation: structure, labels, splits, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import (
+    SyntheticSpec,
+    generate_graph,
+    planted_partition_adjacency,
+)
+
+
+BASE = SyntheticSpec(
+    n=300, num_communities=5, avg_degree=8.0, homophily=0.8, feature_dim=8,
+)
+
+
+class TestAdjacency:
+    def test_symmetric_binary_no_diag(self):
+        rng = np.random.default_rng(0)
+        comm = np.arange(100) % 4
+        adj = planted_partition_adjacency(rng, 100, comm, 6.0, 0.8, 2.0)
+        assert (adj != adj.T).nnz == 0
+        assert not adj.diagonal().any()
+        assert np.all(adj.data == 1.0)
+
+    def test_target_degree_roughly_met(self):
+        rng = np.random.default_rng(0)
+        comm = np.arange(500) % 5
+        adj = planted_partition_adjacency(rng, 500, comm, 10.0, 0.8, 2.0)
+        avg = adj.nnz / 500
+        assert 7.0 < avg < 11.0  # dedup losses allowed
+
+    def test_homophily_controls_intra_fraction(self):
+        rng = np.random.default_rng(0)
+        comm = np.arange(400) % 4
+        high = planted_partition_adjacency(rng, 400, comm, 10.0, 0.95, 0.0)
+        low = planted_partition_adjacency(
+            np.random.default_rng(0), 400, comm, 10.0, 0.3, 0.0
+        )
+
+        def intra_frac(adj):
+            coo = adj.tocoo()
+            return (comm[coo.row] == comm[coo.col]).mean()
+
+        assert intra_frac(high) > intra_frac(low) + 0.3
+
+    def test_degree_exponent_creates_tail(self):
+        rng = np.random.default_rng(0)
+        comm = np.zeros(500, dtype=int)
+        heavy = planted_partition_adjacency(rng, 500, comm, 10.0, 1.0, 1.5)
+        flat = planted_partition_adjacency(
+            np.random.default_rng(0), 500, comm, 10.0, 1.0, 0.0
+        )
+        deg_h = np.asarray(heavy.sum(axis=1)).ravel()
+        deg_f = np.asarray(flat.sum(axis=1)).ravel()
+        assert deg_h.max() > deg_f.max()
+
+    def test_empty_community_rejected(self):
+        rng = np.random.default_rng(0)
+        comm = np.zeros(10, dtype=int)  # community 1 of 2 empty
+        comm_bad = comm.copy()
+        with pytest.raises(ValueError):
+            planted_partition_adjacency(rng, 10, np.full(10, 1), 4.0, 0.8, 0.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            planted_partition_adjacency(
+                np.random.default_rng(0), 1, np.zeros(1, dtype=int), 2.0, 0.5, 0.0
+            )
+
+
+class TestGenerateGraph:
+    def test_deterministic(self):
+        a = generate_graph(BASE, seed=1)
+        b = generate_graph(BASE, seed=1)
+        assert (a.adj != b.adj).nnz == 0
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_graph(BASE, seed=1)
+        b = generate_graph(BASE, seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_split_proportions(self):
+        from dataclasses import replace
+
+        spec = replace(BASE, train_frac=0.5, val_frac=0.25, test_frac=0.25)
+        g = generate_graph(spec, seed=0)
+        assert g.train_mask.sum() == 150
+        assert g.val_mask.sum() == 75
+        assert g.test_mask.sum() == 75
+
+    def test_masks_cover_everything(self):
+        g = generate_graph(BASE, seed=0)
+        total = g.train_mask | g.val_mask | g.test_mask
+        assert total.all()
+
+    def test_labels_match_communities_count(self):
+        g = generate_graph(BASE, seed=0)
+        assert g.num_classes == BASE.num_communities
+
+    def test_multilabel(self):
+        from dataclasses import replace
+
+        spec = replace(BASE, multilabel=True, num_labels=10, labels_per_node=3.0)
+        g = generate_graph(spec, seed=0)
+        assert g.multilabel
+        assert g.labels.shape == (300, 10)
+        assert set(np.unique(g.labels)) <= {0.0, 1.0}
+
+    def test_features_carry_community_signal(self):
+        from dataclasses import replace
+
+        spec = replace(BASE, feature_signal=3.0)
+        g = generate_graph(spec, seed=0)
+        # Same-class feature centroids should be far from global mean.
+        centroids = np.stack(
+            [g.features[g.labels == c].mean(axis=0) for c in range(g.num_classes)]
+        )
+        assert np.linalg.norm(centroids - g.features.mean(axis=0), axis=1).mean() > 1.0
+
+    def test_test_feature_noise_applied(self):
+        from dataclasses import replace
+
+        clean = generate_graph(BASE, seed=0)
+        noisy = generate_graph(replace(BASE, test_feature_noise=2.0), seed=0)
+        held = noisy.val_mask | noisy.test_mask
+        # Train features identical, held-out features perturbed.
+        np.testing.assert_array_equal(
+            clean.features[clean.train_mask], noisy.features[noisy.train_mask]
+        )
+        assert not np.allclose(clean.features[held], noisy.features[held])
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_always_valid_graph(self, seed):
+        g = generate_graph(BASE, seed=seed)
+        g.validate()

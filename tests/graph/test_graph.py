@@ -1,0 +1,143 @@
+"""Graph container invariants and operations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph
+
+from ..util import ring_graph
+
+
+def make_graph(n=8):
+    adj = ring_graph(n)
+    return Graph(
+        adj=adj,
+        features=np.random.rand(n, 3),
+        labels=np.arange(n) % 2,
+        train_mask=np.arange(n) < n // 2,
+        val_mask=(np.arange(n) >= n // 2) & (np.arange(n) < 3 * n // 4),
+        test_mask=np.arange(n) >= 3 * n // 4,
+        name="ring",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = make_graph(8)
+        assert g.num_nodes == 8
+        assert g.num_edges == 8  # ring has n undirected edges
+        assert g.feature_dim == 3
+        assert g.num_classes == 2
+
+    def test_avg_degree(self):
+        assert make_graph(8).avg_degree == pytest.approx(2.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(
+                adj=sp.csr_matrix(np.ones((2, 3))),
+                features=np.zeros((2, 1)),
+                labels=np.zeros(2, dtype=int),
+                train_mask=np.ones(2, bool),
+                val_mask=np.zeros(2, bool),
+                test_mask=np.zeros(2, bool),
+            )
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(
+                adj=ring_graph(4),
+                features=np.zeros((5, 2)),
+                labels=np.zeros(4, dtype=int),
+                train_mask=np.ones(4, bool),
+                val_mask=np.zeros(4, bool),
+                test_mask=np.zeros(4, bool),
+            )
+
+    def test_overlapping_masks_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(
+                adj=ring_graph(4),
+                features=np.zeros((4, 2)),
+                labels=np.zeros(4, dtype=int),
+                train_mask=np.ones(4, bool),
+                val_mask=np.ones(4, bool),
+                test_mask=np.zeros(4, bool),
+            )
+
+    def test_wrong_mask_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(
+                adj=ring_graph(4),
+                features=np.zeros((4, 2)),
+                labels=np.zeros(4, dtype=int),
+                train_mask=np.ones(3, bool),
+                val_mask=np.zeros(4, bool),
+                test_mask=np.zeros(4, bool),
+            )
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        g = make_graph(6)
+        np.testing.assert_array_equal(np.sort(g.neighbors(0)), [1, 5])
+
+    def test_edge_list_symmetric(self):
+        g = make_graph(6)
+        src, dst = g.edge_list()
+        assert len(src) == 2 * g.num_edges
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_degrees(self):
+        g = make_graph(5)
+        np.testing.assert_array_equal(g.degrees(), np.full(5, 2))
+
+    def test_multilabel_num_classes(self):
+        n = 4
+        g = Graph(
+            adj=ring_graph(n),
+            features=np.zeros((n, 2)),
+            labels=np.zeros((n, 7)),
+            train_mask=np.ones(n, bool),
+            val_mask=np.zeros(n, bool),
+            test_mask=np.zeros(n, bool),
+            multilabel=True,
+        )
+        assert g.num_classes == 7
+
+
+class TestSubgraph:
+    def test_node_induced(self):
+        g = make_graph(8)
+        sub = g.subgraph(np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # chain 0-1-2
+
+    def test_masks_sliced(self):
+        g = make_graph(8)
+        sub = g.subgraph(np.array([0, 7]))
+        assert sub.train_mask[0] and not sub.train_mask[1]
+
+    def test_validate_passes(self):
+        make_graph(8).validate()
+
+    def test_validate_catches_asymmetry(self):
+        g = make_graph(4)
+        bad = g.adj.tolil()
+        bad[0, 2] = 1.0  # one direction only
+        g.adj = bad.tocsr()
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_validate_catches_self_loop(self):
+        g = make_graph(4)
+        bad = g.adj.tolil()
+        bad[1, 1] = 1.0
+        g.adj = bad.tocsr()
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_repr(self):
+        assert "ring" in repr(make_graph(4))

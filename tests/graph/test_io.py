@@ -1,0 +1,67 @@
+"""Graph npz serialisation: round-trips and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.graph import load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_multiclass_roundtrip(self, small_graph, tmp_path):
+        path = save_graph(str(tmp_path / "g"), small_graph)
+        assert path.endswith(".npz")
+        back = load_graph(path)
+        assert (back.adj != small_graph.adj).nnz == 0
+        np.testing.assert_array_equal(back.features, small_graph.features)
+        np.testing.assert_array_equal(back.labels, small_graph.labels)
+        np.testing.assert_array_equal(back.train_mask, small_graph.train_mask)
+        assert back.name == small_graph.name
+        assert not back.multilabel
+
+    def test_multilabel_roundtrip(self, multilabel_graph, tmp_path):
+        path = save_graph(str(tmp_path / "ml"), multilabel_graph)
+        back = load_graph(path)
+        assert back.multilabel
+        np.testing.assert_array_equal(back.labels, multilabel_graph.labels)
+
+    def test_extension_optional_on_load(self, small_graph, tmp_path):
+        save_graph(str(tmp_path / "g"), small_graph)
+        back = load_graph(str(tmp_path / "g"))  # no .npz suffix
+        assert back.num_nodes == small_graph.num_nodes
+
+    def test_loaded_graph_trains(self, small_graph, tmp_path):
+        from repro.core import BoundaryNodeSampler, DistributedTrainer
+        from repro.nn import GraphSAGEModel
+        from repro.partition import partition_graph
+
+        save_graph(str(tmp_path / "g"), small_graph)
+        g = load_graph(str(tmp_path / "g"))
+        part = partition_graph(g, 3, method="metis", seed=0)
+        model = GraphSAGEModel(
+            g.feature_dim, 16, g.num_classes, 2, 0.0, np.random.default_rng(0)
+        )
+        t = DistributedTrainer(g, part, model, BoundaryNodeSampler(0.5), lr=0.01)
+        h = t.train(8)
+        assert h.loss[-1] < h.loss[0]
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(str(tmp_path / "absent"))
+
+    def test_version_mismatch(self, small_graph, tmp_path):
+        import numpy as np
+
+        path = save_graph(str(tmp_path / "g"), small_graph)
+        with np.load(path) as a:
+            arrays = {k: a[k] for k in a.files}
+        arrays["version"] = np.array(999)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)
+
+    def test_no_tmp_file_left_behind(self, small_graph, tmp_path):
+        save_graph(str(tmp_path / "g"), small_graph)
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert not leftovers

@@ -1,0 +1,176 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import FullGraphTrainer
+from repro.core import (
+    BoundaryNodeSampler,
+    DistributedTrainer,
+    FullBoundarySampler,
+    PartitionRuntime,
+)
+from repro.graph import Graph
+from repro.nn import GraphSAGEModel
+from repro.partition import PartitionResult, partition_graph
+
+from ..util import ring_graph
+
+
+def graph_with_isolated_nodes(n=24, isolated=4):
+    """Ring plus `isolated` degree-zero nodes appended."""
+    base = ring_graph(n - isolated)
+    adj = sp.lil_matrix((n, n))
+    adj[: n - isolated, : n - isolated] = base
+    rng = np.random.default_rng(0)
+    return Graph(
+        adj=adj.tocsr(),
+        features=rng.normal(size=(n, 6)),
+        labels=np.arange(n) % 3,
+        train_mask=np.arange(n) % 2 == 0,
+        val_mask=np.arange(n) % 4 == 1,
+        test_mask=np.arange(n) % 4 == 3,
+        name="ring+isolated",
+    )
+
+
+def make_model(graph, seed=0):
+    return GraphSAGEModel(
+        graph.feature_dim, 8, graph.num_classes, 2, 0.0,
+        np.random.default_rng(seed),
+    )
+
+
+class TestIsolatedNodes:
+    def test_full_graph_trains(self):
+        g = graph_with_isolated_nodes()
+        t = FullGraphTrainer(g, make_model(g))
+        assert np.isfinite(t.train_epoch())
+
+    def test_distributed_trains(self):
+        g = graph_with_isolated_nodes()
+        part = partition_graph(g, 3, method="random", seed=0)
+        t = DistributedTrainer(g, part, make_model(g), BoundaryNodeSampler(0.5))
+        assert np.isfinite(t.train_epoch())
+
+    def test_isolated_node_aggregation_is_zero(self):
+        from repro.graph.propagation import mean_aggregation
+
+        g = graph_with_isolated_nodes()
+        prop = mean_aggregation(g.adj)
+        # Isolated rows aggregate to zero (the SAGE self-term still
+        # carries the node's own feature).
+        assert prop.csr[-1].nnz == 0
+
+
+class TestDegeneratePartitions:
+    def test_rank_without_train_nodes(self):
+        """Loss must skip partitions that hold no training nodes."""
+        n = 20
+        g = Graph(
+            adj=ring_graph(n),
+            features=np.random.default_rng(0).normal(size=(n, 4)),
+            labels=np.arange(n) % 2,
+            # All training nodes in the first half.
+            train_mask=np.arange(n) < 8,
+            val_mask=(np.arange(n) >= 8) & (np.arange(n) < 14),
+            test_mask=np.arange(n) >= 14,
+        )
+        # Second partition owns only non-train nodes.
+        assignment = (np.arange(n) >= 10).astype(np.int64)
+        part = PartitionResult(assignment, 2)
+        t = DistributedTrainer(g, part, make_model(g), FullBoundarySampler())
+        assert np.isfinite(t.train_epoch())
+
+    def test_no_train_nodes_anywhere_raises(self):
+        n = 12
+        g = Graph(
+            adj=ring_graph(n),
+            features=np.zeros((n, 4)),
+            labels=np.arange(n) % 2,
+            train_mask=np.zeros(n, dtype=bool),
+            val_mask=np.ones(n, dtype=bool),
+            test_mask=np.zeros(n, dtype=bool),
+        )
+        part = PartitionResult(np.arange(n) % 2, 2)
+        t = DistributedTrainer(g, part, make_model(g), FullBoundarySampler())
+        with pytest.raises(RuntimeError):
+            t.train_epoch()
+
+    def test_single_partition_equals_full_graph(self, small_graph):
+        part = PartitionResult(np.zeros(small_graph.num_nodes, dtype=np.int64), 1)
+        m1 = make_model(small_graph, seed=5)
+        m2 = make_model(small_graph, seed=6)
+        m2.load_state_dict(m1.state_dict())
+        t_dist = DistributedTrainer(small_graph, part, m1, FullBoundarySampler())
+        t_full = FullGraphTrainer(small_graph, m2)
+        assert abs(t_dist.train_epoch() - t_full.train_epoch()) < 1e-10
+        assert t_dist.comm.total_bytes("forward") == 0
+
+    def test_partition_of_singletons(self):
+        """k == n: every node is its own partition."""
+        n = 8
+        g = Graph(
+            adj=ring_graph(n),
+            features=np.random.default_rng(1).normal(size=(n, 4)),
+            labels=np.arange(n) % 2,
+            train_mask=np.ones(n, dtype=bool),
+            val_mask=np.zeros(n, dtype=bool),
+            test_mask=np.zeros(n, dtype=bool),
+        )
+        part = PartitionResult(np.arange(n, dtype=np.int64), n)
+        runtime = PartitionRuntime(g, part)
+        runtime.validate()
+        assert runtime.total_boundary() == 2 * n  # each node needs both neighbours
+        t = DistributedTrainer(g, part, make_model(g), FullBoundarySampler())
+        assert np.isfinite(t.train_epoch())
+
+
+class TestSamplerEdgeCases:
+    def test_rank_with_empty_boundary(self, small_graph):
+        """A partition with no boundary (whole graph) samples trivially."""
+        part = PartitionResult(np.zeros(small_graph.num_nodes, dtype=np.int64), 1)
+        runtime = PartitionRuntime(small_graph, part)
+        plan = BoundaryNodeSampler(0.5).plan(
+            runtime.ranks[0], np.random.default_rng(0)
+        )
+        assert plan.kept_positions.size == 0
+        assert plan.prop.shape == (small_graph.num_nodes, small_graph.num_nodes)
+
+    def test_all_boundary_dropped_by_chance(self, small_graph, small_partition):
+        """p so small every node is dropped: training must still run."""
+        t = DistributedTrainer(
+            small_graph, small_partition,
+            make_model(small_graph), BoundaryNodeSampler(1e-9),
+        )
+        assert np.isfinite(t.train_epoch())
+        assert t.comm.total_bytes("forward") == 0
+
+
+class TestNumericalRobustness:
+    def test_huge_feature_values(self, small_partition, small_graph):
+        g = Graph(
+            adj=small_graph.adj,
+            features=small_graph.features * 1e6,
+            labels=small_graph.labels,
+            train_mask=small_graph.train_mask,
+            val_mask=small_graph.val_mask,
+            test_mask=small_graph.test_mask,
+        )
+        t = DistributedTrainer(g, small_partition, make_model(g), FullBoundarySampler())
+        assert np.isfinite(t.train_epoch())
+
+    def test_zero_features(self, small_partition, small_graph):
+        g = Graph(
+            adj=small_graph.adj,
+            features=np.zeros_like(small_graph.features),
+            labels=small_graph.labels,
+            train_mask=small_graph.train_mask,
+            val_mask=small_graph.val_mask,
+            test_mask=small_graph.test_mask,
+        )
+        t = DistributedTrainer(g, small_partition, make_model(g), FullBoundarySampler())
+        loss = t.train_epoch()
+        # Uniform logits: loss starts at ~log(num_classes).
+        assert loss == pytest.approx(np.log(g.num_classes), rel=0.05)

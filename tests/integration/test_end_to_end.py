@@ -1,0 +1,157 @@
+"""Cross-module integration: the paper's claims as executable checks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FullGraphTrainer
+from repro.core import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    DistributedTrainer,
+    DropEdgeSampler,
+    FullBoundarySampler,
+)
+from repro.dist import RTX2080TI_CLUSTER, bns_epoch_model, build_workload
+from repro.nn import GraphSAGEModel
+from repro.partition import communication_volume, partition_graph, partition_stats
+
+
+def fresh_model(graph, seed=11, hidden=32, layers=2, dropout=0.2):
+    return GraphSAGEModel(
+        graph.feature_dim, hidden, graph.num_classes, layers, dropout,
+        np.random.default_rng(seed),
+    )
+
+
+class TestPaperClaims:
+    def test_metis_objective_volume_beats_cut_on_boundary_nodes(self, small_graph):
+        """Section 3.2 Goal-1: optimising comm volume yields fewer
+        boundary nodes than optimising edge cut (usually; assert ≤ with
+        slack since both heuristics are randomised)."""
+        vol = partition_graph(small_graph, 4, method="metis", objective="volume")
+        cut = partition_graph(small_graph, 4, method="metis", objective="cut")
+        v_vol = communication_volume(small_graph.adj, vol)
+        v_cut = communication_volume(small_graph.adj, cut)
+        assert v_vol <= v_cut * 1.1
+
+    def test_comm_traffic_proportional_to_p(self, small_graph):
+        """Eq. 3 under sampling: E[traffic] = p × full traffic."""
+        part = partition_graph(small_graph, 4, method="metis", seed=0)
+        base = None
+        for p in (1.0, 0.5, 0.25):
+            model = fresh_model(small_graph)
+            sampler = FullBoundarySampler() if p == 1.0 else BoundaryNodeSampler(p)
+            t = DistributedTrainer(small_graph, part, model, sampler, seed=1)
+            fwd = 0
+            for _ in range(5):
+                t.train_epoch()
+                fwd += t.comm.total_bytes("forward")
+            fwd /= 5
+            if base is None:
+                base = fwd
+            else:
+                assert fwd / base == pytest.approx(p, rel=0.25)
+
+    def test_bes_communicates_more_than_bns_at_matched_edge_drop(self, small_graph):
+        """Table 9's core claim, measured on real metered traffic."""
+        part = partition_graph(small_graph, 3, method="metis", seed=0)
+        q = 0.1
+        t_bns = DistributedTrainer(
+            small_graph, part, fresh_model(small_graph), BoundaryNodeSampler(q), seed=0
+        )
+        t_bes = DistributedTrainer(
+            small_graph, part, fresh_model(small_graph, seed=12),
+            BoundaryEdgeSampler(q), seed=0,
+        )
+        bns_fwd = bes_fwd = 0
+        for _ in range(5):
+            t_bns.train_epoch()
+            t_bes.train_epoch()
+            bns_fwd += t_bns.comm.total_bytes("forward")
+            bes_fwd += t_bes.comm.total_bytes("forward")
+        assert bes_fwd > 1.5 * bns_fwd
+
+    def test_dropedge_does_not_cut_traffic_much(self, small_graph):
+        part = partition_graph(small_graph, 3, method="metis", seed=0)
+        t_full = DistributedTrainer(
+            small_graph, part, fresh_model(small_graph), FullBoundarySampler()
+        )
+        t_de = DistributedTrainer(
+            small_graph, part, fresh_model(small_graph, seed=12),
+            DropEdgeSampler(0.5), seed=0,
+        )
+        t_full.train_epoch()
+        t_de.train_epoch()
+        # Dropping half the edges keeps well over half the node traffic.
+        ratio = t_de.comm.total_bytes("forward") / t_full.comm.total_bytes("forward")
+        assert ratio > 0.6
+
+    def test_memory_imbalance_shrinks_with_p(self, small_graph):
+        """Fig. 8: sampling compresses the per-partition memory spread."""
+        from repro.bench.harness import BENCH_CONFIGS
+        from repro.dist import MemoryModel
+        from repro.nn.models import layer_dims
+
+        part = partition_graph(small_graph, 4, method="random", seed=0)
+        stats = partition_stats(small_graph.adj, part)
+        dims = [small_graph.feature_dim, 32, small_graph.num_classes]
+        mm = MemoryModel()
+
+        def spread(p):
+            mem = mm.per_partition_bytes(
+                stats.inner_sizes, stats.boundary_sizes * p, dims
+            )
+            return mem.max() / mem.min()
+
+        assert spread(0.01) < spread(1.0)
+
+    def test_modeled_throughput_improves_with_p_and_partitions(self, small_graph):
+        """Fig. 4's scaling: BNS gains grow with the partition count."""
+        dims = [small_graph.feature_dim, 32, 32, small_graph.num_classes]
+        speedups = []
+        for k in (2, 4):
+            part = partition_graph(small_graph, k, method="metis", seed=0)
+            w = build_workload(small_graph, part, dims, 50000)
+            t1 = bns_epoch_model(w, RTX2080TI_CLUSTER, 1.0).total
+            t01 = bns_epoch_model(w, RTX2080TI_CLUSTER, 0.01).total
+            speedups.append(t1 / t01)
+        assert speedups[1] > speedups[0] * 0.9  # non-decreasing (slack for noise)
+
+    def test_sampled_training_reaches_full_accuracy_ballpark(self, small_graph):
+        """Table 4's claim at test scale: p=0.5 within a few points of
+        the full-graph score, and p=0 the worst."""
+        part = partition_graph(small_graph, 4, method="metis", seed=0)
+        scores = {}
+        for p in (1.0, 0.5, 0.0):
+            model = fresh_model(small_graph, hidden=32)
+            sampler = FullBoundarySampler() if p == 1.0 else BoundaryNodeSampler(p)
+            t = DistributedTrainer(small_graph, part, model, sampler, lr=0.01, seed=0)
+            h = t.train(80, eval_every=20)
+            scores[p] = max(h.test_metric)
+        assert scores[0.5] > scores[1.0] - 0.15
+        assert scores[0.0] <= scores[0.5] + 0.02
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self, small_graph):
+        part = partition_graph(small_graph, 3, method="metis", seed=0)
+        runs = []
+        for _ in range(2):
+            model = fresh_model(small_graph)
+            t = DistributedTrainer(
+                small_graph, part, model, BoundaryNodeSampler(0.3), seed=123
+            )
+            runs.append(t.train(5).loss)
+        np.testing.assert_allclose(runs[0], runs[1])
+
+    def test_different_sampling_seed_different_loss(self, small_graph):
+        part = partition_graph(small_graph, 3, method="metis", seed=0)
+        losses = []
+        for seed in (1, 2):
+            model = fresh_model(small_graph)
+            t = DistributedTrainer(
+                small_graph, part, model, BoundaryNodeSampler(0.3), seed=seed
+            )
+            t.train(3)
+            losses.append(t.history.loss[-1])
+        assert losses[0] != losses[1]

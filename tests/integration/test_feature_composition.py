@@ -1,0 +1,116 @@
+"""Cross-feature integration: the new axes (pipelining, per-partition
+rates, spectral partitions, schedulers, checkpoints) compose with the
+core Algorithm 1 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundaryNodeSampler,
+    DistributedTrainer,
+    PerPartitionSampler,
+    PipelinedTrainer,
+    balanced_rates,
+)
+from repro.dist import RTX2080TI_CLUSTER, build_workload
+from repro.nn import (
+    CosineAnnealingLR,
+    GraphSAGEModel,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.nn.models import layer_dims
+from repro.partition import partition_graph
+
+
+def make_model(graph, seed=0, hidden=16):
+    return GraphSAGEModel(
+        graph.feature_dim, hidden, graph.num_classes, 2, 0.0,
+        np.random.default_rng(seed),
+    )
+
+
+class TestPipelinePlusPerPartition:
+    def test_trains_and_meters(self, small_graph, small_partition):
+        dims = layer_dims(small_graph.feature_dim, 16, small_graph.num_classes, 2)
+        workload = build_workload(
+            small_graph, small_partition, dims, model_params=100
+        )
+        rates = balanced_rates(workload, p_target=0.2)
+        t = PipelinedTrainer(
+            small_graph, small_partition, make_model(small_graph),
+            PerPartitionSampler(rates), lr=0.01, cluster=RTX2080TI_CLUSTER,
+        )
+        h = t.train(12)
+        assert h.loss[-1] < h.loss[0]
+        assert all(b.overlap_communication for b in h.modeled)
+
+    def test_traffic_scales_with_rates(self, small_graph, small_partition):
+        m = small_partition.num_parts
+        low = PerPartitionSampler([0.1] * m)
+        high = PerPartitionSampler([0.9] * m)
+        bytes_ = {}
+        for name, sampler in (("low", low), ("high", high)):
+            t = DistributedTrainer(
+                small_graph, small_partition, make_model(small_graph),
+                sampler, lr=0.01, seed=3,
+            )
+            t.train(3)
+            bytes_[name] = np.mean(t.history.comm_bytes)
+        assert bytes_["low"] < bytes_["high"]
+
+
+class TestSpectralPartitionTraining:
+    def test_pipelined_on_spectral(self, small_graph):
+        part = partition_graph(small_graph, 3, method="spectral", seed=0)
+        t = PipelinedTrainer(
+            small_graph, part, make_model(small_graph),
+            BoundaryNodeSampler(0.3), lr=0.01,
+        )
+        h = t.train(20)
+        assert h.loss[-1] < h.loss[0]
+
+    def test_same_model_each_partitioner_comparable(self, small_graph):
+        scores = {}
+        for method in ("metis", "spectral", "random"):
+            part = partition_graph(small_graph, 3, method=method, seed=0)
+            t = DistributedTrainer(
+                small_graph, part, make_model(small_graph, seed=1),
+                BoundaryNodeSampler(0.5), lr=0.01, seed=0,
+            )
+            t.train(40)
+            scores[method] = t.evaluate()["test"]
+        # BNS is partitioner-agnostic (Table 7): all three train to
+        # something non-trivial and within a band of each other.
+        assert min(scores.values()) > 0.3
+        assert max(scores.values()) - min(scores.values()) < 0.35
+
+
+class TestCheckpointMidDistributedRun:
+    def test_resume_distributed_training(self, small_graph, small_partition, tmp_path):
+        model = make_model(small_graph, seed=5)
+        t1 = DistributedTrainer(
+            small_graph, small_partition, model, BoundaryNodeSampler(0.5),
+            lr=0.01, seed=0,
+        )
+        t1.train(5)
+        path = save_checkpoint(str(tmp_path / "mid"), model, t1.optimizer, epoch=5)
+
+        model2 = make_model(small_graph, seed=9)
+        t2 = DistributedTrainer(
+            small_graph, small_partition, model2, BoundaryNodeSampler(0.5),
+            lr=0.01, seed=0,
+        )
+        start = load_checkpoint(path, model2, t2.optimizer)
+        assert start == 5
+        h = t2.train(5)
+        assert np.isfinite(h.loss).all()
+
+    def test_scheduler_with_pipelined_trainer(self, small_graph, small_partition):
+        t = PipelinedTrainer(
+            small_graph, small_partition, make_model(small_graph), lr=0.01
+        )
+        sched = CosineAnnealingLR(t.optimizer, t_max=15)
+        t.train(15, scheduler=sched)
+        # After 15 steps last_epoch = 14, so lr ~ base*(1+cos(14pi/15))/2.
+        assert t.optimizer.lr < 2e-4

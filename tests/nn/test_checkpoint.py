@@ -1,0 +1,143 @@
+"""Checkpointing: round-trips, optimiser state, and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, GraphSAGEModel, SGD, load_checkpoint, save_checkpoint
+from repro.nn.checkpoint import load_optimizer_state, optimizer_state
+from repro.tensor import Tensor
+
+
+def make_model(seed=0):
+    return GraphSAGEModel(8, 16, 4, num_layers=2, dropout=0.0,
+                          rng=np.random.default_rng(seed))
+
+
+def train_steps(model, opt, steps=3, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(5, 8))
+    for _ in range(steps):
+        opt.zero_grad()
+        out = None
+        for p in model.parameters():
+            s = (p * p).sum()
+            out = s if out is None else out + s
+        out.backward()
+        opt.step()
+
+
+class TestRoundTrip:
+    def test_model_roundtrip(self, tmp_path):
+        m1, m2 = make_model(0), make_model(1)
+        path = save_checkpoint(str(tmp_path / "ck"), m1, epoch=7)
+        assert path.endswith(".npz")
+        epoch = load_checkpoint(path, m2)
+        assert epoch == 7
+        for a, b in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_adam_state_roundtrip(self, tmp_path):
+        m1 = make_model(0)
+        opt1 = Adam(m1.parameters(), lr=0.05)
+        train_steps(m1, opt1)
+        save_checkpoint(str(tmp_path / "ck"), m1, opt1, epoch=3)
+
+        m2 = make_model(1)
+        opt2 = Adam(m2.parameters(), lr=0.9)
+        load_checkpoint(str(tmp_path / "ck"), m2, opt2)
+        assert opt2.lr == pytest.approx(0.05)
+        assert opt2._t == opt1._t
+        for a, b in zip(opt1._m, opt2._m):
+            np.testing.assert_array_equal(a, b)
+
+    def test_resumed_training_matches_uninterrupted(self, tmp_path):
+        # Train 6 steps straight vs 3 steps + checkpoint + 3 steps.
+        m_ref = make_model(0)
+        opt_ref = Adam(m_ref.parameters(), lr=0.05)
+        train_steps(m_ref, opt_ref, steps=6)
+
+        m_a = make_model(0)
+        opt_a = Adam(m_a.parameters(), lr=0.05)
+        train_steps(m_a, opt_a, steps=3)
+        save_checkpoint(str(tmp_path / "mid"), m_a, opt_a, epoch=3)
+
+        m_b = make_model(2)
+        opt_b = Adam(m_b.parameters(), lr=0.05)
+        load_checkpoint(str(tmp_path / "mid"), m_b, opt_b)
+        train_steps(m_b, opt_b, steps=3)
+
+        for a, b in zip(m_ref.parameters(), m_b.parameters()):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_sgd_momentum_roundtrip(self, tmp_path):
+        m1 = make_model(0)
+        opt1 = SGD(m1.parameters(), lr=0.01, momentum=0.9)
+        train_steps(m1, opt1)
+        save_checkpoint(str(tmp_path / "ck"), m1, opt1)
+        m2 = make_model(1)
+        opt2 = SGD(m2.parameters(), lr=0.5, momentum=0.9)
+        load_checkpoint(str(tmp_path / "ck"), m2, opt2)
+        for a, b in zip(opt1._velocity, opt2._velocity):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFailureModes:
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        m1 = make_model(0)
+        save_checkpoint(str(tmp_path / "ck"), m1)
+        other = GraphSAGEModel(8, 32, 4, num_layers=2, dropout=0.0,
+                               rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(str(tmp_path / "ck"), other)
+
+    def test_loading_optimizer_from_model_only_checkpoint(self, tmp_path):
+        m1 = make_model(0)
+        save_checkpoint(str(tmp_path / "ck"), m1)
+        m2 = make_model(1)
+        opt = Adam(m2.parameters(), lr=0.1)
+        with pytest.raises(KeyError):
+            load_checkpoint(str(tmp_path / "ck"), m2, opt)
+
+    def test_cross_optimizer_kind_rejected(self, tmp_path):
+        m1 = make_model(0)
+        adam = Adam(m1.parameters(), lr=0.1)
+        train_steps(m1, adam)
+        save_checkpoint(str(tmp_path / "ck"), m1, adam)
+        m2 = make_model(1)
+        sgd = SGD(m2.parameters(), lr=0.1, momentum=0.9)
+        with pytest.raises(TypeError):
+            load_checkpoint(str(tmp_path / "ck"), m2, sgd)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(str(tmp_path / "absent"), make_model())
+
+    def test_unsupported_optimizer_type(self):
+        class WeirdOpt:
+            lr = 0.1
+
+        with pytest.raises(TypeError):
+            optimizer_state(WeirdOpt())
+
+
+class TestStateHelpers:
+    def test_fresh_optimizer_state_has_no_buffers(self):
+        m = make_model(0)
+        opt = Adam(m.parameters(), lr=0.1)
+        state = optimizer_state(opt)
+        assert all(k.startswith("__meta__/") for k in state)
+
+    def test_partial_buffers_survive(self):
+        # Only some parameters have been stepped (grads on a subset).
+        m = make_model(0)
+        opt = Adam(m.parameters(), lr=0.1)
+        p0 = opt.params[0]
+        p0.zero_grad()
+        loss = (p0 * p0).sum()
+        loss.backward()
+        opt.step()
+        state = optimizer_state(opt)
+        opt2 = Adam(make_model(1).parameters(), lr=0.1)
+        load_optimizer_state(opt2, state)
+        np.testing.assert_array_equal(opt2._m[0], opt._m[0])
+        assert opt2._m[1] is None

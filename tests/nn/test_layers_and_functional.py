@@ -1,0 +1,147 @@
+"""Linear/Dropout layers and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Dropout
+from repro.nn import functional as F
+from repro.tensor import Tensor, log_softmax
+
+from ..util import check_gradients
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        out = layer(Tensor(np.random.rand(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_array_equal(out.data, np.zeros((2, 3)))
+
+    def test_parameters_registered(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        assert len(layer.parameters()) == 2
+
+    def test_gradient_flows_to_weight(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        layer(Tensor(np.random.rand(3, 2))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_flops_counts_macs(self):
+        layer = Linear(10, 20, np.random.default_rng(0))
+        assert layer.flops(5) == 2 * 5 * 10 * 20
+
+
+class TestDropoutLayer:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_eval_passthrough(self):
+        d = Dropout(0.9)
+        d.eval()
+        x = Tensor(np.ones(10))
+        assert d(x, np.random.default_rng(0)) is x
+
+    def test_train_drops(self):
+        d = Dropout(0.5)
+        out = d(Tensor(np.ones(1000)), np.random.default_rng(0))
+        assert (out.data == 0).sum() > 300
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_uniform_logits_log_k(self):
+        k = 5
+        logits = Tensor(np.zeros((3, k)))
+        loss = F.cross_entropy(logits, np.array([0, 2, 4]))
+        assert loss.item() == pytest.approx(np.log(k))
+
+    def test_reduction_sum_vs_mean(self):
+        logits = Tensor(np.random.randn(4, 3))
+        labels = np.array([0, 1, 2, 0])
+        s = F.cross_entropy(logits, labels, reduction="sum").item()
+        m = F.cross_entropy(logits, labels, reduction="mean").item()
+        assert s == pytest.approx(4 * m)
+
+    def test_reduction_none_shape(self):
+        logits = Tensor(np.random.randn(4, 3))
+        out = F.cross_entropy(logits, np.array([0, 1, 2, 0]), reduction="none")
+        assert out.shape == (4,)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]), reduction="bogus")
+
+    def test_gradient(self):
+        labels = np.array([0, 2, 1])
+        check_gradients(
+            lambda a: F.cross_entropy(a, labels), [np.random.randn(3, 3)]
+        )
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.random.randn(2, 3), requires_grad=True)
+        labels = np.array([1, 0])
+        F.cross_entropy(logits, labels, reduction="sum").backward()
+        soft = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        onehot = np.eye(3)[labels]
+        np.testing.assert_allclose(logits.grad, soft - onehot, atol=1e-12)
+
+
+class TestNLL:
+    def test_matches_cross_entropy(self):
+        x = np.random.randn(4, 5)
+        labels = np.array([0, 1, 2, 3])
+        ce = F.cross_entropy(Tensor(x), labels).item()
+        nll = F.nll_loss(log_softmax(Tensor(x)), labels).item()
+        assert ce == pytest.approx(nll)
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        x = np.random.randn(4, 3)
+        t = (np.random.rand(4, 3) > 0.5).astype(float)
+        loss = F.bce_with_logits(Tensor(x), t).item()
+        p = 1 / (1 + np.exp(-x))
+        ref = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(ref)
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([[1000.0, -1000.0]]))
+        t = np.array([[1.0, 0.0]])
+        loss = F.bce_with_logits(x, t).item()
+        assert np.isfinite(loss) and loss < 1e-6
+
+    def test_gradient(self):
+        t = (np.random.rand(3, 2) > 0.5).astype(float)
+        check_gradients(lambda a: F.bce_with_logits(a, t), [np.random.randn(3, 2)])
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        x = Tensor(np.random.randn(2, 2), requires_grad=True)
+        t = np.array([[1.0, 0.0], [0.0, 1.0]])
+        F.bce_with_logits(x, t, reduction="sum").backward()
+        np.testing.assert_allclose(x.grad, 1 / (1 + np.exp(-x.data)) - t, atol=1e-12)
+
+
+class TestMaskedRows:
+    def test_selects_masked(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2))
+        mask = np.array([True, False, True, False])
+        out = F.masked_rows(x, mask)
+        np.testing.assert_array_equal(out.data, [[0.0, 1.0], [4.0, 5.0]])
+
+    def test_gradient_only_into_masked(self):
+        x = Tensor(np.random.rand(4, 2), requires_grad=True)
+        mask = np.array([False, True, False, True])
+        F.masked_rows(x, mask).sum().backward()
+        np.testing.assert_array_equal(x.grad[~mask], 0.0)
+        np.testing.assert_array_equal(x.grad[mask], 1.0)

@@ -1,0 +1,61 @@
+"""Accuracy and micro-F1 metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import accuracy, f1_micro_multiclass, f1_micro_multilabel
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_zero(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[2.0, 0.0], [2.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_empty_returns_nan(self):
+        assert np.isnan(accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int)))
+
+    def test_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+
+class TestF1Multilabel:
+    def test_perfect(self):
+        targets = np.array([[1, 0], [0, 1]])
+        logits = np.where(targets, 5.0, -5.0)
+        assert f1_micro_multilabel(logits, targets) == 1.0
+
+    def test_all_wrong(self):
+        targets = np.array([[1, 0], [0, 1]])
+        logits = np.where(targets, -5.0, 5.0)
+        assert f1_micro_multilabel(logits, targets) == 0.0
+
+    def test_no_predictions_no_targets(self):
+        assert f1_micro_multilabel(np.full((2, 2), -5.0), np.zeros((2, 2))) == 0.0
+
+    def test_known_value(self):
+        # 1 TP, 1 FP, 1 FN -> F1 = 2*1/(2*1+1+1) = 0.5
+        targets = np.array([[1, 1, 0]])
+        logits = np.array([[5.0, -5.0, 5.0]])
+        assert f1_micro_multilabel(logits, targets) == pytest.approx(0.5)
+
+    def test_threshold(self):
+        targets = np.array([[1.0]])
+        logits = np.array([[0.2]])
+        assert f1_micro_multilabel(logits, targets, threshold=0.5) == 0.0
+        assert f1_micro_multilabel(logits, targets, threshold=0.1) == 1.0
+
+
+class TestF1Multiclass:
+    def test_equals_accuracy(self):
+        logits = np.random.randn(20, 4)
+        labels = np.random.randint(0, 4, 20)
+        assert f1_micro_multiclass(logits, labels) == accuracy(logits, labels)

@@ -1,0 +1,142 @@
+"""Macro-F1, confusion matrix and per-class metrics (error-analysis
+additions beyond the paper's headline accuracy/micro-F1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_macro_multiclass,
+    f1_macro_multilabel,
+    f1_micro_multiclass,
+    f1_micro_multilabel,
+    per_class_accuracy,
+)
+
+
+def one_hot_logits(preds, k):
+    logits = np.full((len(preds), k), -1.0)
+    logits[np.arange(len(preds)), preds] = 1.0
+    return logits
+
+
+class TestMacroF1Multilabel:
+    def test_averages_per_label(self):
+        # label 0 perfect (F1=1), label 1 never predicted (F1=0)
+        targets = np.array([[1, 1], [1, 1]])
+        logits = np.array([[5.0, -5.0], [5.0, -5.0]])
+        assert f1_macro_multilabel(logits, targets) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        targets = np.array([[1, 0], [0, 1]], dtype=float)
+        logits = np.where(targets > 0, 5.0, -5.0)
+        assert f1_macro_multilabel(logits, targets) == 1.0
+
+    def test_absent_label_counts_zero(self):
+        # Label 1 never true and never predicted -> contributes 0.
+        targets = np.array([[1, 0], [1, 0]], dtype=float)
+        logits = np.array([[5.0, -5.0], [5.0, -5.0]])
+        assert f1_macro_multilabel(logits, targets) == pytest.approx(0.5)
+
+
+class TestConfusion:
+    def test_known_matrix(self):
+        logits = one_hot_logits([0, 0, 1, 2], 3)
+        labels = np.array([0, 1, 1, 2])
+        expected = np.array([[1, 0, 0], [1, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(confusion_matrix(logits, labels), expected)
+
+    def test_rows_sum_to_class_counts(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 5, size=40)
+        logits = rng.normal(size=(40, 5))
+        mat = confusion_matrix(logits, labels)
+        np.testing.assert_array_equal(
+            mat.sum(axis=1), np.bincount(labels, minlength=5)
+        )
+
+    def test_trace_equals_accuracy(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 4, size=30)
+        logits = rng.normal(size=(30, 4))
+        mat = confusion_matrix(logits, labels)
+        assert mat.trace() / 30 == pytest.approx(accuracy(logits, labels))
+
+    def test_explicit_num_classes(self):
+        logits = one_hot_logits([0, 1], 2)
+        mat = confusion_matrix(logits, np.array([0, 1]), num_classes=4)
+        assert mat.shape == (4, 4)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestMacroF1Multiclass:
+    def test_perfect(self):
+        logits = one_hot_logits([0, 1, 2], 3)
+        assert f1_macro_multiclass(logits, np.array([0, 1, 2])) == 1.0
+
+    def test_ignores_absent_classes(self):
+        logits = one_hot_logits([0, 1], 3)
+        assert f1_macro_multiclass(logits, np.array([0, 1])) == 1.0
+
+    def test_penalises_minority_errors_more_than_micro(self):
+        # 9 of class 0 right, the single class-1 node wrong.
+        logits = one_hot_logits([0] * 10, 2)
+        labels = np.array([0] * 9 + [1])
+        micro = f1_micro_multiclass(logits, labels)
+        macro = f1_macro_multiclass(logits, labels)
+        assert macro < micro
+
+
+class TestPerClass:
+    def test_values(self):
+        logits = one_hot_logits([0, 0, 1, 1], 2)
+        labels = np.array([0, 1, 1, 1])
+        acc = per_class_accuracy(logits, labels)
+        assert acc[0] == pytest.approx(1.0)
+        assert acc[1] == pytest.approx(2 / 3)
+
+    def test_absent_class_nan(self):
+        logits = one_hot_logits([0, 0], 3)
+        acc = per_class_accuracy(logits, np.array([0, 0]))
+        assert np.isnan(acc[1]) and np.isnan(acc[2])
+
+    def test_mean_over_present_equals_macro_recall(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3, size=25)
+        logits = rng.normal(size=(25, 3))
+        acc = per_class_accuracy(logits, labels)
+        assert np.nanmean(acc) <= 1.0
+
+
+class TestProperties:
+    @given(
+        logits=hnp.arrays(np.float64, (13, 4), elements=st.floats(-5, 5)),
+        labels=hnp.arrays(np.int64, (13,), elements=st.integers(0, 3)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_macro_f1_in_unit_interval(self, logits, labels):
+        assert 0.0 <= f1_macro_multiclass(logits, labels) <= 1.0
+
+    @given(
+        logits=hnp.arrays(np.float64, (11, 3), elements=st.floats(-5, 5)),
+        targets=hnp.arrays(np.int64, (11, 3), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_f1_bounds_multilabel(self, logits, targets):
+        assert 0.0 <= f1_micro_multilabel(logits, targets.astype(float)) <= 1.0
+        assert 0.0 <= f1_macro_multilabel(logits, targets.astype(float)) <= 1.0
+
+    @given(labels=hnp.arrays(np.int64, (17,), elements=st.integers(0, 4)))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_maximises_everything(self, labels):
+        logits = one_hot_logits(labels, 5)
+        assert accuracy(logits, labels) == 1.0
+        assert f1_macro_multiclass(logits, labels) == 1.0
+        assert confusion_matrix(logits, labels).trace() == len(labels)

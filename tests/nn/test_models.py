@@ -1,0 +1,109 @@
+"""Model containers: dims, forward, parameter plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.graph.propagation import mean_aggregation, sym_norm
+from repro.nn import GATModel, GCNModel, GraphSAGEModel, layer_dims
+from repro.tensor import Tensor
+
+from ..util import ring_graph
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLayerDims:
+    def test_single_layer(self):
+        assert layer_dims(10, 64, 3, 1) == [10, 3]
+
+    def test_multi_layer(self):
+        assert layer_dims(10, 64, 3, 4) == [10, 64, 64, 64, 3]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            layer_dims(10, 64, 3, 0)
+
+
+class TestGraphSAGEModel:
+    def test_forward_shape(self):
+        m = GraphSAGEModel(8, 16, 5, 3, 0.0, rng())
+        prop = mean_aggregation(ring_graph(10))
+        out = m.full_forward(prop, Tensor(np.random.rand(10, 8)), rng())
+        assert out.shape == (10, 5)
+
+    def test_num_layers(self):
+        m = GraphSAGEModel(8, 16, 5, 3, 0.0, rng())
+        assert m.num_layers == 3
+
+    def test_parameters_counted(self):
+        m = GraphSAGEModel(8, 16, 5, 2, 0.0, rng())
+        # layer1: (2*8)x16 + 16 ; layer2: (2*16)x5 + 5
+        assert m.num_parameters() == (16 * 16 + 16) + (32 * 5 + 5)
+
+    def test_dropout_only_in_training(self):
+        m = GraphSAGEModel(4, 8, 3, 2, 0.9, rng())
+        prop = mean_aggregation(ring_graph(6))
+        x = Tensor(np.random.rand(6, 4))
+        m.eval()
+        a = m.full_forward(prop, x, np.random.default_rng(1)).data
+        b = m.full_forward(prop, x, np.random.default_rng(2)).data
+        np.testing.assert_array_equal(a, b)
+        m.train()
+        c = m.full_forward(prop, x, np.random.default_rng(1)).data
+        d = m.full_forward(prop, x, np.random.default_rng(2)).data
+        assert not np.allclose(c, d)
+
+    def test_layer_flops(self):
+        m = GraphSAGEModel(8, 16, 5, 2, 0.0, rng())
+        assert m.layer_flops(0, 10, 20, 100) > 0
+
+    def test_single_layer_model(self):
+        m = GraphSAGEModel(8, 16, 5, 1, 0.0, rng())
+        prop = mean_aggregation(ring_graph(4))
+        out = m.full_forward(prop, Tensor(np.random.rand(4, 8)), rng())
+        assert out.shape == (4, 5)
+
+
+class TestGCNModel:
+    def test_forward_shape(self):
+        m = GCNModel(8, 16, 5, 2, 0.0, rng())
+        prop = sym_norm(ring_graph(10))
+        out = m.full_forward(prop, Tensor(np.random.rand(10, 8)), rng())
+        assert out.shape == (10, 5)
+
+    def test_backward_through_model(self):
+        m = GCNModel(4, 8, 3, 2, 0.0, rng())
+        prop = sym_norm(ring_graph(5))
+        out = m.full_forward(prop, Tensor(np.random.rand(5, 4)), rng())
+        out.sum().backward()
+        assert all(p.grad is not None for p in m.parameters())
+
+
+class TestGATModel:
+    def test_forward_shape(self):
+        m = GATModel(8, 4, 5, 2, 0.0, rng(), num_heads=2)
+        src, dst = np.array([0, 1, 2]), np.array([1, 2, 0])
+        out = m.full_forward(src, dst, Tensor(np.random.rand(3, 8)), rng())
+        assert out.shape == (3, 5)
+
+    def test_hidden_width_includes_heads(self):
+        m = GATModel(8, 4, 5, 3, 0.0, rng(), num_heads=2)
+        assert m.dims == [8, 8, 8, 5]
+
+    def test_single_layer(self):
+        m = GATModel(8, 4, 5, 1, 0.0, rng())
+        assert m.num_layers == 1
+        assert m.dims == [8, 5]
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            GATModel(8, 4, 5, 0, 0.0, rng())
+
+    def test_gradients_flow(self):
+        m = GATModel(4, 3, 2, 2, 0.0, rng())
+        src, dst = np.array([0, 1]), np.array([1, 0])
+        out = m.full_forward(src, dst, Tensor(np.random.rand(2, 4)), rng())
+        out.sum().backward()
+        assert all(p.grad is not None for p in m.parameters())

@@ -1,0 +1,102 @@
+"""Module/Parameter registration and (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+        self.b = Parameter(np.zeros(2))
+
+
+class Parent(Module):
+    def __init__(self):
+        super().__init__()
+        self.child = Leaf()
+        self.own = Parameter(np.ones(3))
+
+
+class WithList(Module):
+    def __init__(self):
+        super().__init__()
+        self.layers = [Leaf(), Leaf()]
+
+
+class TestRegistration:
+    def test_leaf_parameters(self):
+        assert len(Leaf().parameters()) == 2
+
+    def test_nested_parameters(self):
+        assert len(Parent().parameters()) == 3
+
+    def test_list_of_modules(self):
+        assert len(WithList().parameters()) == 4
+
+    def test_named_parameters_prefixed(self):
+        names = dict(Parent().named_parameters())
+        assert "own" in names
+        assert "child.w" in names
+
+    def test_num_parameters(self):
+        assert Leaf().num_parameters() == 6
+
+    def test_parameter_is_trainable(self):
+        p = Parameter(np.ones(2))
+        assert p.requires_grad
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        m = Parent()
+        m.eval()
+        assert not m.training
+        assert not m.child.training
+        m.train()
+        assert m.child.training
+
+    def test_zero_grad(self):
+        m = Leaf()
+        (m.w.sum() + m.b.sum()).backward()
+        assert m.w.grad is not None
+        m.zero_grad()
+        assert m.w.grad is None and m.b.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Parent(), Parent()
+        a.own.data[:] = 7.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.own.data, a.own.data)
+
+    def test_state_dict_copies(self):
+        m = Leaf()
+        sd = m.state_dict()
+        sd["w"][:] = 99.0
+        assert not (m.w.data == 99.0).any()
+
+    def test_missing_key_raises(self):
+        m = Leaf()
+        sd = m.state_dict()
+        del sd["w"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_unexpected_key_raises(self):
+        m = Leaf()
+        sd = m.state_dict()
+        sd["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_shape_mismatch_raises(self):
+        m = Leaf()
+        sd = m.state_dict()
+        sd["w"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)

@@ -1,0 +1,99 @@
+"""Optimisers: SGD and Adam behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD
+from repro.tensor import Tensor
+
+
+def quadratic_param(value=5.0):
+    return Tensor(np.array([value]), requires_grad=True)
+
+
+def step_quadratic(opt, p, steps):
+    """Minimise f(p) = p² with the given optimiser."""
+    for _ in range(steps):
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        assert abs(step_quadratic(SGD([p], lr=0.1), p, 50)) < 1e-3
+
+    def test_single_step_exact(self):
+        p = quadratic_param(2.0)
+        opt = SGD([p], lr=0.5)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        # p - lr*2p = 2 - 0.5*4 = 0
+        assert p.data[0] == pytest.approx(0.0)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        v1 = step_quadratic(SGD([p1], lr=0.01), p1, 20)
+        v2 = step_quadratic(SGD([p2], lr=0.01, momentum=0.9), p2, 20)
+        assert abs(v2) < abs(v1)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        # zero loss gradient: only decay acts
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_skips_param_without_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad yet: no crash, no change
+        assert p.data[0] == 5.0
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        # Adam's steps are ~lr-sized near the optimum, so it orbits
+        # within a lr-wide band rather than converging exactly.
+        p = quadratic_param()
+        assert abs(step_quadratic(Adam([p], lr=0.1), p, 200)) < 0.2
+
+    def test_first_step_is_lr_sized(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        # Bias-corrected first Adam step ≈ lr * sign(grad).
+        assert p.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_state_grows_with_steps(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        assert opt._t == 1
+        assert opt._m[0] is not None
+
+
+class TestValidation:
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)

@@ -1,0 +1,163 @@
+"""Learning-rate schedulers: exact schedules and edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    LinearWarmupLR,
+    MultiStepLR,
+    ReduceLROnPlateau,
+    SGD,
+    StepLR,
+)
+from repro.tensor import Tensor
+
+
+def make_opt(lr=0.1):
+    p = Tensor(np.zeros(3), requires_grad=True)
+    return SGD([p], lr=lr)
+
+
+class TestStepLR:
+    def test_schedule_values(self):
+        opt = make_opt(lr=1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs == pytest.approx([1, 1, 1, 0.1, 0.1, 0.1, 0.01])
+
+    def test_mutates_optimizer(self):
+        opt = make_opt(lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_rejects_bad_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestMultiStepLR:
+    def test_milestones(self):
+        opt = make_opt(lr=1.0)
+        sched = MultiStepLR(opt, milestones=[2, 5], gamma=0.1)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs == pytest.approx([1, 1, 0.1, 0.1, 0.1, 0.01])
+
+    def test_unsorted_milestones_accepted(self):
+        opt = make_opt(lr=1.0)
+        sched = MultiStepLR(opt, milestones=[5, 2], gamma=0.1)
+        assert sched.get_lr(3) == pytest.approx(0.1)
+
+    def test_rejects_negative_milestone(self):
+        with pytest.raises(ValueError):
+            MultiStepLR(make_opt(), milestones=[-1])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        assert sched.get_lr(0) == pytest.approx(1.0)
+        assert sched.get_lr(10) == pytest.approx(0.01)
+
+    def test_midpoint(self):
+        sched = CosineAnnealingLR(make_opt(lr=1.0), t_max=10)
+        assert sched.get_lr(5) == pytest.approx(0.5)
+
+    def test_clamps_past_t_max(self):
+        sched = CosineAnnealingLR(make_opt(lr=1.0), t_max=4, eta_min=0.2)
+        assert sched.get_lr(100) == pytest.approx(0.2)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_opt(lr=1.0), t_max=20)
+        lrs = [sched.get_lr(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        opt = make_opt(lr=1.0)
+        sched = LinearWarmupLR(opt, warmup=4)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+
+    def test_hands_over_to_inner(self):
+        opt = make_opt(lr=1.0)
+        inner = StepLR(opt, step_size=1, gamma=0.5)
+        sched = LinearWarmupLR(opt, warmup=2, after=inner)
+        lrs = [sched.step() for _ in range(4)]
+        # warmup epochs 0-1, then inner sees shifted epochs 0,1.
+        assert lrs == pytest.approx([0.5, 1.0, 1.0, 0.5])
+
+
+class TestPlateau:
+    def test_decays_after_patience(self):
+        opt = make_opt(lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2, mode="max")
+        sched.step(0.5)  # best
+        for _ in range(2):
+            sched.step(0.4)  # within patience
+        assert opt.lr == pytest.approx(1.0)
+        sched.step(0.4)  # exceeds patience -> decay
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_improvement_resets_counter(self):
+        opt = make_opt(lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1, mode="max")
+        sched.step(0.5)
+        sched.step(0.4)
+        sched.step(0.6)  # improvement
+        sched.step(0.5)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_min_mode(self):
+        opt = make_opt(lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, mode="min")
+        sched.step(1.0)
+        sched.step(2.0)  # worse in min mode -> immediate decay
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_respects_min_lr(self):
+        opt = make_opt(lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, min_lr=0.05)
+        sched.step(1.0)
+        for _ in range(5):
+            sched.step(0.0)
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_requires_metric(self):
+        sched = ReduceLROnPlateau(make_opt())
+        with pytest.raises(ValueError):
+            sched.step()
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(make_opt(), factor=1.5)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(make_opt(), mode="avg")
+
+
+class TestIntegration:
+    def test_scheduled_sgd_still_descends(self):
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        sched = CosineAnnealingLR(opt, t_max=50)
+        target = np.array([1.0, -2.0, 3.0, 0.5])
+        losses = []
+        for _ in range(50):
+            opt.zero_grad()
+            diff = w - Tensor(target)
+            loss = (diff * diff).sum()
+            loss.backward()
+            opt.step()
+            sched.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 1e-2

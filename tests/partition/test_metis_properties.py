@@ -1,0 +1,62 @@
+"""Property-based tests of the METIS-like partitioner (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import planted_partition_adjacency
+from repro.partition import (
+    MetisLikeConfig,
+    communication_volume,
+    metis_like_partition,
+)
+
+
+def make_graph(seed, n=120, k_comm=4):
+    rng = np.random.default_rng(seed)
+    comm = np.arange(n) % k_comm
+    return planted_partition_adjacency(rng, n, comm, 6.0, 0.8, 2.0)
+
+
+class TestPartitionProperties:
+    @given(st.integers(0, 30), st.integers(2, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_cover_and_range(self, seed, k):
+        adj = make_graph(seed)
+        res = metis_like_partition(adj, k, MetisLikeConfig(seed=seed))
+        assert res.assignment.shape == (adj.shape[0],)
+        assert res.assignment.min() >= 0
+        assert res.assignment.max() < k
+        assert res.part_sizes().sum() == adj.shape[0]
+
+    @given(st.integers(0, 30), st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_balance_property(self, seed, k):
+        adj = make_graph(seed)
+        cfg = MetisLikeConfig(balance_eps=0.2, seed=seed)
+        res = metis_like_partition(adj, k, cfg)
+        sizes = res.part_sizes()
+        target = adj.shape[0] / k
+        assert sizes.max() <= (1 + cfg.balance_eps) * target + 1
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_structured_beats_random_on_average(self, seed):
+        """On homophilous graphs metis-like should not lose to random
+        partitioning on communication volume."""
+        from repro.partition import random_partition
+
+        adj = make_graph(seed, n=150)
+        k = 4
+        metis = metis_like_partition(adj, k, MetisLikeConfig(seed=seed))
+        rand = random_partition(adj.shape[0], k, np.random.default_rng(seed))
+        v_m = communication_volume(adj, metis)
+        v_r = communication_volume(adj, rand)
+        assert v_m <= v_r * 1.05  # small slack: both are heuristics
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_deterministic(self, seed):
+        adj = make_graph(seed)
+        a = metis_like_partition(adj, 3, MetisLikeConfig(seed=seed)).assignment
+        b = metis_like_partition(adj, 3, MetisLikeConfig(seed=seed)).assignment
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,149 @@
+"""Random + METIS-like partitioners: correctness and quality."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    MetisLikeConfig,
+    PartitionResult,
+    communication_volume,
+    edge_cut,
+    metis_like_partition,
+    partition_graph,
+    partition_stats,
+    random_partition,
+)
+
+from ..util import grid_graph, ring_graph
+
+
+class TestPartitionResult:
+    def test_inner_nodes_sorted_disjoint_cover(self):
+        res = PartitionResult(np.array([0, 1, 0, 1, 2]), 3)
+        all_nodes = np.concatenate([res.inner_nodes(i) for i in range(3)])
+        assert sorted(all_nodes.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_part_sizes(self):
+        res = PartitionResult(np.array([0, 1, 0, 1, 2]), 3)
+        np.testing.assert_array_equal(res.part_sizes(), [2, 2, 1])
+
+    def test_out_of_range_assignment(self):
+        with pytest.raises(ValueError):
+            PartitionResult(np.array([0, 3]), 2)
+
+    def test_negative_assignment(self):
+        with pytest.raises(ValueError):
+            PartitionResult(np.array([0, -1]), 2)
+
+    def test_boundary_nodes_ring(self):
+        # Ring 0-1-2-3-0 split [0,1] vs [2,3]: each part's boundary is
+        # the two remote endpoints.
+        res = PartitionResult(np.array([0, 0, 1, 1]), 2)
+        adj = ring_graph(4)
+        np.testing.assert_array_equal(res.boundary_nodes(adj, 0), [2, 3])
+        np.testing.assert_array_equal(res.boundary_nodes(adj, 1), [0, 1])
+
+    def test_boundary_excludes_inner(self):
+        res = PartitionResult(np.array([0, 0, 1, 1, 1, 1]), 2)
+        adj = ring_graph(6)
+        bd = res.boundary_nodes(adj, 1)
+        inner = res.inner_nodes(1)
+        assert not np.intersect1d(bd, inner).size
+
+    def test_empty_part_boundary(self):
+        res = PartitionResult(np.zeros(4, dtype=np.int64), 2)
+        assert res.boundary_nodes(ring_graph(4), 1).size == 0
+
+
+class TestRandomPartition:
+    def test_balanced_sizes(self):
+        res = random_partition(100, 7, np.random.default_rng(0))
+        sizes = res.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_deterministic_given_rng(self):
+        a = random_partition(50, 4, np.random.default_rng(5)).assignment
+        b = random_partition(50, 4, np.random.default_rng(5)).assignment
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_parts_than_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_partition(3, 5, np.random.default_rng(0))
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            random_partition(3, 0, np.random.default_rng(0))
+
+
+class TestMetisLike:
+    def test_single_part(self):
+        res = metis_like_partition(ring_graph(10), 1)
+        assert (res.assignment == 0).all()
+
+    def test_too_many_parts(self):
+        with pytest.raises(ValueError):
+            metis_like_partition(ring_graph(4), 8)
+
+    def test_bad_objective(self):
+        with pytest.raises(ValueError):
+            metis_like_partition(ring_graph(8), 2, MetisLikeConfig(objective="bogus"))
+
+    def test_covers_all_nodes(self, small_graph):
+        res = metis_like_partition(small_graph.adj, 4)
+        assert res.part_sizes().sum() == small_graph.num_nodes
+
+    def test_balance_respected(self, small_graph):
+        cfg = MetisLikeConfig(balance_eps=0.15)
+        res = metis_like_partition(small_graph.adj, 4, cfg)
+        sizes = res.part_sizes()
+        target = small_graph.num_nodes / 4
+        assert sizes.max() <= (1 + cfg.balance_eps) * target + 1
+        assert sizes.min() >= (1 - cfg.balance_eps) * target - 1
+
+    def test_beats_random_on_volume(self, small_graph):
+        metis = metis_like_partition(
+            small_graph.adj, 4, MetisLikeConfig(objective="volume", seed=0)
+        )
+        rand = random_partition(small_graph.num_nodes, 4, np.random.default_rng(0))
+        v_metis = communication_volume(small_graph.adj, metis)
+        v_rand = communication_volume(small_graph.adj, rand)
+        assert v_metis < v_rand
+
+    def test_beats_random_on_cut(self, small_graph):
+        metis = metis_like_partition(
+            small_graph.adj, 4, MetisLikeConfig(objective="cut", seed=0)
+        )
+        rand = random_partition(small_graph.num_nodes, 4, np.random.default_rng(0))
+        assert edge_cut(small_graph.adj, metis.assignment) < edge_cut(
+            small_graph.adj, rand.assignment
+        )
+
+    def test_grid_bisection_near_optimal(self):
+        # An 8x8 grid split in two has an optimal cut of 8; the
+        # partitioner should land in the same ballpark.
+        adj = grid_graph(8, 8)
+        res = metis_like_partition(adj, 2, MetisLikeConfig(seed=1))
+        assert edge_cut(adj, res.assignment) <= 16
+
+    def test_deterministic_given_seed(self, small_graph):
+        a = metis_like_partition(small_graph.adj, 3, MetisLikeConfig(seed=4))
+        b = metis_like_partition(small_graph.adj, 3, MetisLikeConfig(seed=4))
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_method_label(self, small_graph):
+        res = metis_like_partition(small_graph.adj, 2)
+        assert res.method == "metis-like/volume"
+
+
+class TestFacade:
+    def test_metis_route(self, small_graph):
+        res = partition_graph(small_graph, 3, method="metis", seed=0)
+        assert res.num_parts == 3
+
+    def test_random_route(self, small_graph):
+        res = partition_graph(small_graph, 3, method="random", seed=0)
+        assert res.method == "random"
+
+    def test_unknown_method(self, small_graph):
+        with pytest.raises(ValueError):
+            partition_graph(small_graph, 3, method="hilbert-curve")

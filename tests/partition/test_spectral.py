@@ -1,0 +1,119 @@
+"""Spectral partitioner: validity, balance, quality vs random."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.partition import (
+    SpectralConfig,
+    communication_volume,
+    edge_cut,
+    partition_graph,
+    random_partition,
+    spectral_partition,
+)
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from util import ring_graph  # noqa: E402
+
+
+def two_cliques(m=20, bridges=1):
+    """Two m-cliques joined by `bridges` edges — the canonical spectral
+    bisection case."""
+    n = 2 * m
+    a = np.zeros((n, n))
+    a[:m, :m] = 1
+    a[m:, m:] = 1
+    np.fill_diagonal(a, 0)
+    for b in range(bridges):
+        a[b, m + b] = a[m + b, b] = 1
+    return sp.csr_matrix(a)
+
+
+class TestValidity:
+    def test_assignment_covers_all_nodes(self, small_graph):
+        part = spectral_partition(small_graph.adj, 4)
+        assert part.assignment.shape == (small_graph.num_nodes,)
+        assert set(np.unique(part.assignment)) <= set(range(4))
+
+    def test_single_part_trivial(self, small_graph):
+        part = spectral_partition(small_graph.adj, 1)
+        assert (part.assignment == 0).all()
+
+    def test_rejects_more_parts_than_nodes(self):
+        with pytest.raises(ValueError):
+            spectral_partition(ring_graph(4), 5)
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            spectral_partition(ring_graph(4), 0)
+
+    def test_method_label(self, small_graph):
+        assert spectral_partition(small_graph.adj, 2).method == "spectral"
+
+    def test_deterministic_for_seed(self, small_graph):
+        a = spectral_partition(small_graph.adj, 3, SpectralConfig(seed=5))
+        b = spectral_partition(small_graph.adj, 3, SpectralConfig(seed=5))
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_respects_slack(self, small_graph, k):
+        cfg = SpectralConfig(slack=0.1)
+        part = spectral_partition(small_graph.adj, k, cfg)
+        cap = int(np.ceil(1.1 * small_graph.num_nodes / k))
+        assert part.part_sizes().max() <= cap
+
+    def test_tight_slack_enforced(self, small_graph):
+        cfg = SpectralConfig(slack=0.02)
+        part = spectral_partition(small_graph.adj, 4, cfg)
+        cap = int(np.ceil(1.02 * small_graph.num_nodes / 4))
+        assert part.part_sizes().max() <= cap
+
+
+class TestQuality:
+    def test_separates_two_cliques(self):
+        adj = two_cliques(m=16)
+        part = spectral_partition(adj, 2)
+        # Each clique must land (almost) entirely in one partition:
+        # the cut can't exceed the bridge count by much.
+        assert edge_cut(adj, part.assignment) <= 4
+
+    def test_beats_random_on_communities(self, small_graph):
+        spec = spectral_partition(small_graph.adj, 4)
+        rand = random_partition(
+            small_graph.num_nodes, 4, np.random.default_rng(0)
+        )
+        assert communication_volume(small_graph.adj, spec) < communication_volume(
+            small_graph.adj, rand
+        )
+
+    def test_handles_isolated_nodes(self):
+        adj = two_cliques(m=10).tolil()
+        adj.resize((24, 24))  # nodes 20-23 isolated
+        part = spectral_partition(adj.tocsr(), 2)
+        assert part.assignment.shape == (24,)
+
+
+class TestFacade:
+    def test_partition_graph_spectral(self, small_graph):
+        part = partition_graph(small_graph, 3, method="spectral", seed=1)
+        assert part.method == "spectral"
+        assert part.num_parts == 3
+
+    def test_trains_on_spectral_partition(self, small_graph):
+        from repro.core import BoundaryNodeSampler, DistributedTrainer
+        from repro.nn import GraphSAGEModel
+
+        part = partition_graph(small_graph, 3, method="spectral")
+        model = GraphSAGEModel(
+            small_graph.feature_dim, 16, small_graph.num_classes, 2, 0.0,
+            np.random.default_rng(0),
+        )
+        t = DistributedTrainer(
+            small_graph, part, model, BoundaryNodeSampler(0.5), lr=0.01
+        )
+        h = t.train(10)
+        assert h.loss[-1] < h.loss[0]

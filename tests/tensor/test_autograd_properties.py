@@ -1,0 +1,94 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, gather_rows, relu, softmax
+
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_matrix(max_side=5):
+    return st.integers(1, max_side).flatmap(
+        lambda r: st.integers(1, max_side).flatmap(
+            lambda c: arrays(np.float64, (r, c), elements=finite_floats)
+        )
+    )
+
+
+class TestLinearityProperties:
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(small_matrix(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_multiple_scales_gradient(self, x, c):
+        t = Tensor(x, requires_grad=True)
+        (t * c).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, c))
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_add_self_doubles_gradient(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t + t).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, 2.0))
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_forward_backward_shapes_agree(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t * t).sum().backward()
+        assert t.grad.shape == x.shape
+
+
+class TestActivationProperties:
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_gradient_in_01(self, x):
+        t = Tensor(x, requires_grad=True)
+        relu(t).sum().backward()
+        assert ((t.grad == 0) | (t.grad == 1)).all()
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_normalised(self, x):
+        out = softmax(Tensor(x), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_gradient_rows_sum_zero(self, x):
+        # d(softmax)/dx has rows orthogonal to 1 => grad of any fn that
+        # only sees softmax sums to ~0 per row when seeded with ones.
+        t = Tensor(x, requires_grad=True)
+        softmax(t, axis=-1).sum().backward()
+        np.testing.assert_allclose(t.grad.sum(axis=-1), 0.0, atol=1e-9)
+
+
+class TestGatherProperties:
+    @given(
+        arrays(np.float64, (6, 3), elements=finite_floats),
+        st.lists(st.integers(0, 5), min_size=1, max_size=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gather_grad_counts_occurrences(self, x, idx):
+        idx = np.asarray(idx)
+        t = Tensor(x, requires_grad=True)
+        gather_rows(t, idx).sum().backward()
+        counts = np.bincount(idx, minlength=6).astype(float)
+        np.testing.assert_allclose(t.grad, counts[:, None] * np.ones((6, 3)))
+
+    @given(arrays(np.float64, (4, 2), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_gather_identity_permutation(self, x):
+        out = gather_rows(Tensor(x), np.arange(4))
+        np.testing.assert_array_equal(out.data, x)

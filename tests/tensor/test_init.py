@@ -1,0 +1,58 @@
+"""Initialisation utilities."""
+
+import math
+
+import numpy as np
+
+from repro.tensor import kaiming_uniform, make_rng, xavier_normal, xavier_uniform, zeros
+
+
+class TestRng:
+    def test_seeded_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+
+class TestXavier:
+    def test_uniform_bound(self):
+        rng = make_rng(0)
+        t = xavier_uniform((100, 200), rng)
+        bound = math.sqrt(6.0 / 300)
+        assert np.abs(t.data).max() <= bound
+        assert t.requires_grad
+
+    def test_uniform_gain(self):
+        rng = make_rng(0)
+        t = xavier_uniform((50, 50), rng, gain=2.0)
+        bound = 2.0 * math.sqrt(6.0 / 100)
+        assert np.abs(t.data).max() <= bound
+
+    def test_normal_std(self):
+        rng = make_rng(0)
+        t = xavier_normal((500, 500), rng)
+        expected_std = math.sqrt(2.0 / 1000)
+        assert abs(t.data.std() - expected_std) / expected_std < 0.05
+
+    def test_1d_shape(self):
+        t = xavier_uniform((10,), make_rng(0))
+        assert t.shape == (10,)
+
+    def test_conv_style_fans(self):
+        # (out, in, k) shapes route through the receptive-field branch.
+        t = xavier_uniform((4, 3, 5), make_rng(0))
+        assert t.shape == (4, 3, 5)
+
+
+class TestOthers:
+    def test_kaiming_bound(self):
+        t = kaiming_uniform((64, 32), make_rng(0))
+        assert np.abs(t.data).max() <= math.sqrt(3.0 / 64)
+
+    def test_zeros(self):
+        t = zeros((3, 4))
+        np.testing.assert_array_equal(t.data, np.zeros((3, 4)))
+        assert t.requires_grad

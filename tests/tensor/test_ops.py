@@ -1,0 +1,251 @@
+"""Gradient and behaviour tests for every op in repro.tensor.ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    concat_cols,
+    concat_rows,
+    dropout,
+    exp,
+    gather_rows,
+    leaky_relu,
+    log,
+    log_softmax,
+    relu,
+    scatter_rows,
+    segment_softmax,
+    segment_sum,
+    sigmoid,
+    softmax,
+    stack_mean,
+    tanh,
+)
+
+from ..util import check_gradients
+
+
+class TestActivations:
+    def test_exp_grad(self):
+        check_gradients(lambda a: exp(a).sum(), [np.random.rand(3, 2)])
+
+    def test_log_grad(self):
+        check_gradients(lambda a: log(a).sum(), [np.random.rand(3) + 0.5])
+
+    def test_relu_forward(self):
+        out = relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        x = np.array([-1.0, 0.5, 2.0])
+        check_gradients(lambda a: relu(a).sum(), [x])
+
+    def test_leaky_relu_forward(self):
+        out = leaky_relu(Tensor([-2.0, 4.0]), 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 4.0])
+
+    def test_leaky_relu_grad(self):
+        check_gradients(
+            lambda a: leaky_relu(a, 0.2).sum(), [np.array([-1.5, 0.3, 2.0])]
+        )
+
+    def test_sigmoid_range(self):
+        out = sigmoid(Tensor(np.linspace(-10, 10, 21)))
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_sigmoid_grad(self):
+        check_gradients(lambda a: sigmoid(a).sum(), [np.random.randn(4)])
+
+    def test_tanh_grad(self):
+        check_gradients(lambda a: tanh(a).sum(), [np.random.randn(4)])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(Tensor(np.random.randn(5, 7)))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5))
+
+    def test_shift_invariance(self):
+        x = np.random.randn(3, 4)
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b)
+
+    def test_softmax_grad(self):
+        check_gradients(
+            lambda a: (softmax(a) * softmax(a)).sum(), [np.random.randn(3, 4)]
+        )
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.randn(4, 5)
+        np.testing.assert_allclose(
+            log_softmax(Tensor(x)).data, np.log(softmax(Tensor(x)).data)
+        )
+
+    def test_log_softmax_grad(self):
+        check_gradients(lambda a: (log_softmax(a) ** 2).sum(), [np.random.randn(3, 4)])
+
+    def test_log_softmax_large_values_stable(self):
+        out = log_softmax(Tensor(np.array([[1000.0, 0.0]])))
+        assert np.isfinite(out.data).all()
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.random.rand(10))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_rate_identity(self):
+        x = Tensor(np.random.rand(10))
+        out = dropout(x, 0.0, np.random.default_rng(0))
+        assert out is x
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0, np.random.default_rng(0))
+
+    def test_inverted_scaling_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 50)))
+        out = dropout(x, 0.3, rng)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_mask_reused_in_backward(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = dropout(x, 0.5, rng)
+        out.sum().backward()
+        # Gradient must be exactly the forward mask (0 or 1/keep).
+        np.testing.assert_allclose(x.grad, out.data)
+
+    def test_deterministic_given_rng(self):
+        x = Tensor(np.ones(100))
+        a = dropout(x, 0.5, np.random.default_rng(7)).data
+        b = dropout(x, 0.5, np.random.default_rng(7)).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGatherScatter:
+    def test_gather_forward(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = gather_rows(x, np.array([2, 0]))
+        np.testing.assert_array_equal(out.data, [[6.0, 7.0, 8.0], [0.0, 1.0, 2.0]])
+
+    def test_gather_grad(self):
+        check_gradients(
+            lambda a: (gather_rows(a, np.array([0, 2, 2])) ** 2).sum(),
+            [np.random.rand(4, 3)],
+        )
+
+    def test_gather_duplicate_rows_accumulate(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = gather_rows(x, np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_scatter_forward(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        out = scatter_rows(x, np.array([0, 0, 2]), 3)
+        np.testing.assert_array_equal(out.data, [[4.0, 6.0], [0.0, 0.0], [5.0, 6.0]])
+
+    def test_scatter_grad(self):
+        check_gradients(
+            lambda a: (scatter_rows(a, np.array([0, 1, 0]), 2) ** 2).sum(),
+            [np.random.rand(3, 2)],
+        )
+
+    def test_gather_scatter_duality(self):
+        # scatter(gather(x, idx), idx) has gradient = scatter-of-gather.
+        idx = np.array([0, 2])
+        x = Tensor(np.random.rand(3, 2), requires_grad=True)
+        out = scatter_rows(gather_rows(x, idx), np.arange(2), 2)
+        out.sum().backward()
+        expected = np.zeros((3, 2))
+        expected[idx] = 1.0
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_segment_sum_matches_scatter(self):
+        x = np.random.rand(5, 3)
+        ids = np.array([0, 1, 0, 2, 1])
+        a = segment_sum(Tensor(x), ids, 3).data
+        b = scatter_rows(Tensor(x), ids, 3).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSegmentSoftmax:
+    def test_segments_sum_to_one(self):
+        scores = Tensor(np.random.randn(8))
+        ids = np.array([0, 0, 1, 1, 1, 2, 2, 2])
+        out = segment_softmax(scores, ids, 3)
+        for seg in range(3):
+            np.testing.assert_allclose(out.data[ids == seg].sum(), 1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            segment_softmax(Tensor(np.zeros((2, 2))), np.array([0, 0]), 1)
+
+    def test_single_element_segment(self):
+        out = segment_softmax(Tensor([5.0]), np.array([0]), 1)
+        np.testing.assert_allclose(out.data, [1.0])
+
+    def test_grad(self):
+        ids = np.array([0, 0, 1, 1, 1])
+        check_gradients(
+            lambda a: (segment_softmax(a, ids, 2) ** 2).sum(),
+            [np.random.randn(5)],
+        )
+
+    def test_matches_dense_softmax_per_segment(self):
+        from repro.tensor import softmax
+
+        scores = np.random.randn(6)
+        ids = np.array([0, 0, 0, 1, 1, 1])
+        seg = segment_softmax(Tensor(scores), ids, 2).data
+        dense0 = softmax(Tensor(scores[:3])).data
+        dense1 = softmax(Tensor(scores[3:])).data
+        np.testing.assert_allclose(seg, np.concatenate([dense0, dense1]))
+
+
+class TestConcat:
+    def test_concat_rows_forward(self):
+        a, b = np.random.rand(2, 3), np.random.rand(4, 3)
+        out = concat_rows([Tensor(a), Tensor(b)])
+        np.testing.assert_array_equal(out.data, np.vstack([a, b]))
+
+    def test_concat_rows_grad(self):
+        check_gradients(
+            lambda a, b: (concat_rows([a, b]) ** 2).sum(),
+            [np.random.rand(2, 3), np.random.rand(3, 3)],
+        )
+
+    def test_concat_cols_forward(self):
+        a, b = np.random.rand(3, 2), np.random.rand(3, 4)
+        out = concat_cols([Tensor(a), Tensor(b)])
+        np.testing.assert_array_equal(out.data, np.hstack([a, b]))
+
+    def test_concat_cols_grad(self):
+        check_gradients(
+            lambda a, b: (concat_cols([a, b]) ** 2).sum(),
+            [np.random.rand(3, 2), np.random.rand(3, 1)],
+        )
+
+    def test_concat_three_blocks(self):
+        blocks = [np.random.rand(i + 1, 2) for i in range(3)]
+        out = concat_rows([Tensor(b) for b in blocks])
+        assert out.shape == (6, 2)
+
+
+class TestStackMean:
+    def test_forward(self):
+        a, b = np.ones((2, 2)), 3 * np.ones((2, 2))
+        out = stack_mean([Tensor(a), Tensor(b)])
+        np.testing.assert_array_equal(out.data, 2 * np.ones((2, 2)))
+
+    def test_grad_split_evenly(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack_mean([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 0.5))
+        np.testing.assert_allclose(b.grad, np.full(3, 0.5))

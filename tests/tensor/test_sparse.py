@@ -1,0 +1,96 @@
+"""SparseOp and spmm: structure ops and autograd correctness."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import SparseOp, Tensor, spmm
+
+from ..util import check_gradients
+
+
+def random_sparse(rows, cols, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    m = sp.random(rows, cols, density=density, random_state=np.random.RandomState(seed))
+    return SparseOp(m.tocsr())
+
+
+class TestSparseOp:
+    def test_shape_and_nnz(self):
+        op = SparseOp(sp.eye(4, format="csr"))
+        assert op.shape == (4, 4)
+        assert op.nnz == 4
+
+    def test_select_columns(self):
+        dense = np.arange(12.0).reshape(3, 4)
+        op = SparseOp(sp.csr_matrix(dense))
+        sub = op.select_columns(np.array([3, 1]))
+        np.testing.assert_array_equal(sub.toarray(), dense[:, [3, 1]])
+
+    def test_select_columns_with_scale(self):
+        dense = np.ones((2, 3))
+        op = SparseOp(sp.csr_matrix(dense))
+        sub = op.select_columns(np.array([0]), scale=10.0)
+        np.testing.assert_array_equal(sub.toarray(), [[10.0], [10.0]])
+
+    def test_scale_columns(self):
+        op = SparseOp(sp.csr_matrix(np.ones((2, 3))))
+        scaled = op.scale_columns(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(scaled.toarray(), [[1, 2, 3], [1, 2, 3]])
+
+    def test_hstack(self):
+        a = SparseOp(sp.csr_matrix(np.ones((2, 2))))
+        b = SparseOp(sp.csr_matrix(2 * np.ones((2, 1))))
+        out = a.hstack(b)
+        np.testing.assert_array_equal(out.toarray(), [[1, 1, 2], [1, 1, 2]])
+
+    def test_transpose(self):
+        m = np.array([[1.0, 2.0], [0.0, 3.0]])
+        op = SparseOp(sp.csr_matrix(m))
+        np.testing.assert_array_equal(op.transpose().toarray(), m.T)
+
+    def test_frobenius_norm_sq(self):
+        m = np.array([[3.0, 0.0], [0.0, 4.0]])
+        op = SparseOp(sp.csr_matrix(m))
+        assert op.frobenius_norm_sq() == pytest.approx(25.0)
+
+    def test_repr(self):
+        assert "nnz" in repr(SparseOp(sp.eye(2)))
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self):
+        op = random_sparse(5, 4, seed=1)
+        h = np.random.rand(4, 3)
+        out = spmm(op, Tensor(h))
+        np.testing.assert_allclose(out.data, op.toarray() @ h)
+
+    def test_gradient_is_transpose(self):
+        op = random_sparse(5, 4, seed=2)
+        h = Tensor(np.random.rand(4, 3), requires_grad=True)
+        spmm(op, h).sum().backward()
+        expected = op.toarray().T @ np.ones((5, 3))
+        np.testing.assert_allclose(h.grad, expected)
+
+    def test_gradient_numerical(self):
+        op = random_sparse(4, 6, seed=3)
+        check_gradients(lambda h: (spmm(op, h) ** 2).sum(), [np.random.rand(6, 2)])
+
+    def test_chained_spmm(self):
+        # Two propagation steps, like a 2-layer GCN.
+        op = SparseOp(sp.eye(3, format="csr") * 0.5)
+        h = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = spmm(op, spmm(op, h))
+        out.sum().backward()
+        np.testing.assert_allclose(h.grad, np.full((3, 2), 0.25))
+
+    def test_empty_matrix(self):
+        op = SparseOp(sp.csr_matrix((3, 4)))
+        out = spmm(op, Tensor(np.random.rand(4, 2)))
+        np.testing.assert_array_equal(out.data, np.zeros((3, 2)))
+
+    def test_no_grad_constant_input(self):
+        op = random_sparse(3, 3)
+        h = Tensor(np.random.rand(3, 2))
+        out = spmm(op, h)
+        assert not out.requires_grad

@@ -1,0 +1,55 @@
+"""CLI: the pipelining / scheduling / checkpointing / spectral flags."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "--scale", "0.05", "--n-partitions", "2", "--n-epochs", "3",
+    "--eval-every", "2", "--quiet", "--n-hidden", "8",
+]
+
+
+class TestParserFlags:
+    def test_new_defaults(self):
+        args = build_parser().parse_args([])
+        assert not args.pipelined
+        assert args.patience == 0
+        assert args.lr_schedule == "none"
+        assert args.save_checkpoint is None and args.resume is None
+
+    def test_spectral_method_accepted(self):
+        args = build_parser().parse_args(["--partition-method", "spectral"])
+        assert args.partition_method == "spectral"
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--lr-schedule", "exponential"])
+
+
+class TestEndToEnd:
+    def test_pipelined(self, capsys):
+        assert main(SMALL + ["--pipelined"]) == 0
+        assert "test score" in capsys.readouterr().out
+
+    def test_pipelined_gat_rejected(self, capsys):
+        assert main(SMALL + ["--pipelined", "--model", "gat"]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_spectral_partition(self, capsys):
+        assert main(SMALL + ["--partition-method", "spectral"]) == 0
+
+    def test_step_schedule(self, capsys):
+        assert main(SMALL + ["--lr-schedule", "step"]) == 0
+
+    def test_cosine_schedule_with_patience(self, capsys):
+        assert main(SMALL + ["--lr-schedule", "cosine", "--patience", "2"]) == 0
+
+    def test_checkpoint_roundtrip(self, tmp_path, capsys):
+        ck = str(tmp_path / "model")
+        assert main(SMALL + ["--save-checkpoint", ck]) == 0
+        assert main(SMALL + ["--resume", ck + ".npz"]) == 0
+
+    def test_resume_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(SMALL + ["--resume", str(tmp_path / "nope")])
