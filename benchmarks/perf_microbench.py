@@ -1,0 +1,208 @@
+"""Plan-construction / SpMM microbenchmark for the split-operator path.
+
+Times, on a ~20k-node synthetic graph:
+
+1. **plan construction** — the legacy explicit construction
+   (per-epoch ``tocsc → column slice → tocsr → hstack →
+   row_normalise``, four O(nnz) sparse reallocations) vs the
+   split-operator planner (``BoundaryNodeSampler.plan``: O(kept)
+   column selection + one SpMV worth of row scaling), same draws;
+2. **SpMM** — the stacked CSR matmul vs the split-form matmul on the
+   same operator and features;
+3. the other samplers' plan rates, for the record.
+
+Writes ``BENCH_sampling.json`` at the repo root (plans/sec before vs
+after) to seed the performance trajectory, and verifies numerical
+agreement of the two paths while doing so.
+
+Usage:
+    PYTHONPATH=src python benchmarks/perf_microbench.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    DropEdgeSampler,
+    FullBoundarySampler,
+    PartitionRuntime,
+    explicit_stacked_operator,
+)
+from repro.graph.generators import SyntheticSpec, generate_graph
+from repro.partition import partition_graph
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_sampling.json")
+
+
+def build_runtime(nodes: int, parts: int, seed: int) -> PartitionRuntime:
+    spec = SyntheticSpec(
+        n=nodes,
+        num_communities=32,
+        avg_degree=16.0,
+        homophily=0.6,
+        degree_exponent=2.2,
+        feature_dim=32,
+        name="microbench",
+    )
+    graph = generate_graph(spec, seed=seed)
+    # Random partition: fast to compute and boundary-heavy, the worst
+    # case for per-epoch plan construction.
+    part = partition_graph(graph, parts, method="random", seed=seed)
+    return PartitionRuntime(graph, part)
+
+
+def time_explicit_plans(runtime, p: float, epochs: int, mode: str) -> float:
+    """Legacy path: rebuild the stacked operator every epoch."""
+    rngs = [np.random.default_rng(1000 + i) for i in range(len(runtime.ranks))]
+    t0 = time.perf_counter()
+    for _ in range(epochs):
+        for i, rank in enumerate(runtime.ranks):
+            kept = np.flatnonzero(rngs[i].random(rank.n_boundary) < p)
+            explicit_stacked_operator(rank, kept, mode, rate=p)
+    return time.perf_counter() - t0
+
+
+def time_split_plans(sampler, runtime, epochs: int) -> float:
+    """Split-operator path: lazy selection from precomputed structures."""
+    rngs = [np.random.default_rng(1000 + i) for i in range(len(runtime.ranks))]
+    t0 = time.perf_counter()
+    for _ in range(epochs):
+        for i, rank in enumerate(runtime.ranks):
+            sampler.plan(rank, rngs[i])
+    return time.perf_counter() - t0
+
+
+def check_equivalence(runtime, p: float, mode: str) -> float:
+    """Max |split − explicit| over a product with random features."""
+    worst = 0.0
+    for rank in runtime.ranks:
+        plan = BoundaryNodeSampler(p, mode=mode).plan(
+            rank, np.random.default_rng(5)
+        )
+        explicit = explicit_stacked_operator(
+            rank, plan.kept_positions, mode, rate=p
+        )
+        h = np.random.default_rng(6).normal(size=(plan.prop.shape[1], 16))
+        worst = max(
+            worst, float(np.abs(plan.prop.matmul(h) - explicit @ h).max())
+        )
+    return worst
+
+
+def time_spmm(runtime, p: float, mode: str, reps: int, d: int = 64):
+    """Stacked CSR matmul vs split-form matmul on identical operators."""
+    rank = max(runtime.ranks, key=lambda r: r.n_boundary)
+    plan = BoundaryNodeSampler(p, mode=mode).plan(rank, np.random.default_rng(9))
+    h = np.random.default_rng(10).normal(size=(plan.prop.shape[1], d))
+    stacked = plan.prop.csr  # materialise once, outside the timer
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        stacked @ h
+    stacked_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        plan.prop.matmul(h)
+    split_s = time.perf_counter() - t0
+    return stacked_s / reps, split_s / reps
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--nodes", type=int, default=20000)
+    ap.add_argument("--parts", type=int, default=8)
+    ap.add_argument("--epochs", type=int, default=30,
+                    help="planning rounds to average over")
+    ap.add_argument("--p", type=float, default=0.1,
+                    help="BNS sampling rate for the headline numbers")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny configuration for CI smoke runs")
+    args = ap.parse_args()
+    if args.smoke:
+        args.nodes, args.parts, args.epochs = 4000, 4, 5
+
+    t0 = time.perf_counter()
+    runtime = build_runtime(args.nodes, args.parts, args.seed)
+    build_s = time.perf_counter() - t0
+    n_plans = args.epochs * len(runtime.ranks)
+    stats = {
+        "nodes": args.nodes,
+        "edges": int(runtime.graph.adj.nnz // 2),
+        "parts": args.parts,
+        "total_boundary": runtime.total_boundary(),
+        "runtime_build_seconds": round(build_s, 4),
+    }
+    print(f"graph: {stats}")
+
+    results = {"graph": stats, "p": args.p, "epochs": args.epochs}
+    for mode in ("renorm", "scale"):
+        explicit_s = time_explicit_plans(runtime, args.p, args.epochs, mode)
+        split_s = time_split_plans(
+            BoundaryNodeSampler(args.p, mode=mode), runtime, args.epochs
+        )
+        err = check_equivalence(runtime, args.p, mode)
+        spmm_stacked, spmm_split = time_spmm(runtime, args.p, mode, reps=20)
+        results[f"bns_{mode}"] = {
+            "explicit_plans_per_sec": round(n_plans / explicit_s, 2),
+            "split_plans_per_sec": round(n_plans / split_s, 2),
+            "plan_speedup": round(explicit_s / split_s, 2),
+            "spmm_stacked_ms": round(spmm_stacked * 1e3, 4),
+            "spmm_split_ms": round(spmm_split * 1e3, 4),
+            "max_abs_error": err,
+        }
+        print(
+            f"BNS p={args.p} [{mode:6s}]  "
+            f"explicit {n_plans / explicit_s:8.1f} plans/s   "
+            f"split {n_plans / split_s:9.1f} plans/s   "
+            f"speedup {explicit_s / split_s:5.2f}x   "
+            f"max|err| {err:.2e}"
+        )
+
+    sampler_rates = {}
+    for sampler in (
+        FullBoundarySampler(),
+        BoundaryNodeSampler(args.p),
+        BoundaryEdgeSampler(args.p),
+        DropEdgeSampler(args.p),
+    ):
+        seconds = time_split_plans(sampler, runtime, args.epochs)
+        rate = n_plans / seconds if seconds > 0 else float("inf")
+        sampler_rates[sampler.name] = round(rate, 2)
+        print(f"{sampler.name:10s} split planner: {rate:12.1f} plans/s")
+    results["sampler_plans_per_sec"] = sampler_rates
+    # The acceptance headline: BoundaryNodeSampler(p=0.1) in its
+    # default (renorm) mode, plans/sec before vs after.
+    results["headline"] = {
+        "sampler": "BoundaryNodeSampler",
+        "p": args.p,
+        "mode": "renorm",
+        "before_plans_per_sec": results["bns_renorm"]["explicit_plans_per_sec"],
+        "after_plans_per_sec": results["bns_renorm"]["split_plans_per_sec"],
+        "speedup": results["bns_renorm"]["plan_speedup"],
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    speedup = results["bns_renorm"]["plan_speedup"]
+    target = 5.0
+    if not args.smoke and speedup < target:
+        print(f"WARNING: renorm plan speedup {speedup}x below {target}x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ from .sampler import (
     DropEdgeSampler,
     EpochPlan,
     FullBoundarySampler,
+    explicit_stacked_operator,
+    plan_sampling_ops,
 )
 from .bns import PartitionRuntime, RankData
 from .trainer import DistributedTrainer, TrainHistory
@@ -22,6 +24,8 @@ __all__ = [
     "DropEdgeSampler",
     "EpochPlan",
     "FullBoundarySampler",
+    "explicit_stacked_operator",
+    "plan_sampling_ops",
     "PartitionRuntime",
     "RankData",
     "DistributedTrainer",

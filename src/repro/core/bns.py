@@ -16,15 +16,16 @@ of Algorithm 1 holds locally:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..graph.graph import Graph
-from ..graph.propagation import mean_aggregation, sym_norm
+from ..graph.propagation import mean_aggregation, safe_inverse, sym_norm
 from ..partition.types import PartitionResult
+from ..tensor import SplitOperator
 
 __all__ = ["RankData", "PartitionRuntime"]
 
@@ -58,6 +59,11 @@ class RankData:
     train_local: np.ndarray  # local indices of training inner nodes
     val_local: np.ndarray
     test_local: np.ndarray
+    # Lazily-built, per-rank structures shared by every epoch plan
+    # (CSC views, transposes, degree vectors, degenerate operators).
+    _cache: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def n_inner(self) -> int:
@@ -66,6 +72,115 @@ class RankData:
     @property
     def n_boundary(self) -> int:
         return len(self.boundary)
+
+    # -- precomputed epoch-plan structures ------------------------------
+    #
+    # Samplers draw a fresh boundary subset every epoch; everything that
+    # does NOT depend on the draw is built once here and reused:
+    # column-sliceable CSC views of the boundary blocks, the inner
+    # degree vector (renorm-mode row scales become one SpMV on the kept
+    # block plus this vector), shared inner transposes for the SpMM
+    # backward, and the p ∈ {0, 1} degenerate operators.
+
+    def _cached(self, key: str, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    @property
+    def a_bd_csc(self) -> sp.csc_matrix:
+        """Raw boundary block in CSC — column selection is O(kept nnz)."""
+        return self._cached("a_bd_csc", self.a_bd.tocsc)
+
+    @property
+    def p_bd_csc(self) -> sp.csc_matrix:
+        """Pre-normalised boundary block in CSC."""
+        return self._cached("p_bd_csc", self.p_bd.tocsc)
+
+    @property
+    def inner_deg(self) -> np.ndarray:
+        """Row sums of ``a_in`` — each inner node's surviving-neighbour
+        count before any boundary column is added back."""
+        return self._cached(
+            "inner_deg", lambda: np.asarray(self.a_in.sum(axis=1)).ravel()
+        )
+
+    @property
+    def a_in_t(self) -> sp.csr_matrix:
+        return self._cached("a_in_t", lambda: self.a_in.T.tocsr())
+
+    @property
+    def p_in_t(self) -> sp.csr_matrix:
+        return self._cached("p_in_t", lambda: self.p_in.T.tocsr())
+
+    def inner_edges(self, mode: str):
+        """(row, col) per stored edge of the inner block, in CSR data
+        order — lets DropEdge rebuild a sampled inner block without a
+        per-epoch COO conversion."""
+        key = f"inner_edges_{mode}"
+
+        def build():
+            csr = self.a_in if mode == "renorm" else self.p_in
+            rows = np.repeat(
+                np.arange(csr.shape[0], dtype=np.int64), np.diff(csr.indptr)
+            )
+            return rows, csr.indices.astype(np.int64)
+
+        return self._cached(key, build)
+
+    def bd_edge_cols(self, mode: str) -> np.ndarray:
+        """Boundary-column id of every stored edge of the CSC block —
+        lets edge samplers draw without a COO conversion per epoch."""
+        key = f"bd_edge_cols_{mode}"
+
+        def build():
+            csc = self.a_bd_csc if mode == "renorm" else self.p_bd_csc
+            return np.repeat(
+                np.arange(csc.shape[1], dtype=np.int64), np.diff(csc.indptr)
+            )
+
+        return self._cached(key, build)
+
+    def empty_operator(self, mode: str) -> SplitOperator:
+        """The kept-nothing operator (p = 0 or an empty draw), cached.
+
+        renorm: ``row_normalise(a_in)`` in lazy row-scale form;
+        scale: ``p_in`` unchanged.
+        """
+        if mode == "renorm":
+            return self._cached(
+                "empty_renorm",
+                lambda: SplitOperator(
+                    self.a_in,
+                    row_scale=safe_inverse(self.inner_deg),
+                    inner_t=self.a_in_t,
+                ),
+            )
+        return self._cached(
+            "empty_scale",
+            lambda: SplitOperator(self.p_in, inner_t=self.p_in_t),
+        )
+
+    def full_operator(self) -> SplitOperator:
+        """The keep-everything operator ``[P_in | P_bd]`` (p = 1), cached."""
+        return self._cached(
+            "full",
+            lambda: SplitOperator(
+                self.p_in,
+                self.p_bd_csc if self.n_boundary else None,
+                np.arange(self.n_boundary, dtype=np.int64),
+                inner_t=self.p_in_t,
+            ),
+        )
+
+    def warm_plan_cache(self) -> None:
+        """Eagerly build the shared structures (done at runtime setup so
+        the first epoch's plan cost matches the steady state)."""
+        self.a_bd_csc, self.p_bd_csc, self.inner_deg
+        self.a_in_t, self.p_in_t
+        for mode in ("renorm", "scale"):
+            self.bd_edge_cols(mode)
+            self.inner_edges(mode)
 
     def boundary_groups(self, kept_positions: np.ndarray):
         """Group kept boundary positions by owning rank.
@@ -153,6 +268,9 @@ class PartitionRuntime:
                     test_local=np.flatnonzero(graph.test_mask[inner]),
                 )
             )
+
+        for r in self.ranks:
+            r.warm_plan_cache()
 
         self.total_train = int(graph.train_mask.sum())
 

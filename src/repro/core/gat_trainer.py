@@ -193,6 +193,7 @@ class DistributedGATTrainer:
         loss = total * (1.0 / denom)
         self.optimizer.zero_grad()
         loss.backward()
+        p2p_bytes = self.comm.pairwise.copy()
         self.comm.allreduce(self.model.num_parameters(), "reduce")
         self.optimizer.step()
 
@@ -203,7 +204,7 @@ class DistributedGATTrainer:
             self.history.modeled.append(
                 epoch_time(
                     per_rank_flops=flops,
-                    pairwise_comm_bytes=self.comm.pairwise,
+                    pairwise_comm_bytes=p2p_bytes,
                     model_bytes=self.model.num_parameters() * BYTES,
                     cluster=self.cluster,
                     sampling_seconds=modeled_sampling,

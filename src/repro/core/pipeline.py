@@ -51,7 +51,7 @@ from ..nn import functional as F
 from ..nn.optim import Optimizer
 from ..partition.types import PartitionResult
 from ..tensor import Tensor, concat_rows, gather_rows, relu
-from .sampler import BoundarySampler
+from .sampler import BoundarySampler, plan_sampling_ops
 from .trainer import BYTES, DistributedTrainer
 
 __all__ = ["PipelinedTrainer"]
@@ -125,7 +125,7 @@ class PipelinedTrainer(DistributedTrainer):
         ]
         sampling_seconds = sum(pl.sampling_seconds for pl in plans)
         sampling_ops = sum(
-            (r.n_boundary + max(pl.prop.nnz - r.p_in.nnz, 0))
+            plan_sampling_ops(r, pl)
             for r, pl in zip(ranks, plans)
             if pl.sampling_seconds > 0.0
         )
@@ -208,6 +208,7 @@ class PipelinedTrainer(DistributedTrainer):
             if block.grad is not None
         ]
 
+        p2p_bytes = self.comm.pairwise.copy()
         self.comm.allreduce(self.model.num_parameters(), "reduce")
         self.optimizer.step()
         self.epochs_run += 1
@@ -218,7 +219,7 @@ class PipelinedTrainer(DistributedTrainer):
         if self.cluster is not None:
             breakdown = epoch_time(
                 per_rank_flops=flops,
-                pairwise_comm_bytes=self.comm.pairwise,
+                pairwise_comm_bytes=p2p_bytes,
                 model_bytes=self.model.num_parameters() * BYTES,
                 cluster=self.cluster,
                 sampling_seconds=modeled_sampling,

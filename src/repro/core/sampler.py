@@ -5,6 +5,32 @@ and return an :class:`EpochPlan` per epoch: the effective local
 propagation operator ``[P̃_in | P̃_bd]`` plus the positions of the
 boundary nodes that must actually be communicated.
 
+Zero-rebuild epoch planning
+---------------------------
+The operator is emitted as a :class:`~repro.tensor.sparse.SplitOperator`
+— the *split-operator fast path*.  Sampling changes only which boundary
+columns participate and how rows are rescaled, so nothing forces a
+rebuild of the stacked matrix every epoch:
+
+* the inner block (``a_in`` / ``p_in``) is immutable and shared by
+  every plan, together with its transpose for the SpMM backward;
+* the boundary block is column-selected from a CSC view precomputed at
+  :class:`~repro.core.bns.RankData` build time — O(kept nnz), not
+  O(nnz);
+* renorm-mode row scales come from ``inner_deg + A_bd[:, kept] · 1``
+  (one SpMV on the kept block) instead of a full ``row_normalise``
+  rebuild;
+* the p ∈ {0, 1} degenerate plans are cached on the rank and reused at
+  zero per-epoch cost.
+
+A plan is therefore an index set plus scale vectors — something a rank
+could *ship* to a peer process — rather than a matrix that must be
+reconstructed.  :func:`explicit_stacked_operator` keeps the legacy
+hstack + ``row_normalise`` construction as the reference that the
+equivalence tests and the perf microbenchmark compare against.
+
+Estimator modes
+---------------
 Two estimator modes are provided for each sampler:
 
 * ``"renorm"`` (default) — Algorithm 1 line 5 builds the node-induced
@@ -30,20 +56,21 @@ Implemented strategies:
   partition-parallel training: drops edges uniformly over the *whole*
   local block (inner + boundary).
 * :class:`FullBoundarySampler` — no sampling (vanilla partition
-  parallelism, p = 1), cached so its per-epoch overhead is zero.
+  parallelism, p = 1); serves the rank's cached full operator, so its
+  per-epoch overhead is zero.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph.propagation import row_normalise
-from ..tensor import SparseOp
+from ..graph.propagation import row_normalise, safe_inverse
+from ..tensor import SparseOp, SplitOperator
 
 __all__ = [
     "EpochPlan",
@@ -52,6 +79,8 @@ __all__ = [
     "BoundaryEdgeSampler",
     "DropEdgeSampler",
     "FullBoundarySampler",
+    "explicit_stacked_operator",
+    "plan_sampling_ops",
 ]
 
 MODES = ("renorm", "scale")
@@ -64,25 +93,61 @@ class EpochPlan:
     Attributes
     ----------
     prop:
-        Effective (n_in, n_in + n_kept) operator ``[P̃_in | P̃_bd]``.
+        Effective (n_in, n_in + n_kept) operator ``[P̃_in | P̃_bd]`` —
+        a :class:`SplitOperator` from the built-in samplers (custom
+        samplers may still supply a plain :class:`SparseOp`).
     kept_positions:
         Indices into the partition's boundary list of the nodes whose
         features must be received this epoch, ascending (matching the
         operator's boundary column order).
     sampling_seconds:
-        Wall-clock cost of drawing the plan (Table 12's overhead).
+        Wall-clock cost of drawing the plan (Table 12's overhead);
+        0.0 for plans served from the rank-level cache.
+    sampling_ops:
+        Elements the sampler actually touched drawing this plan
+        (Bernoulli draws + edges processed) — Appendix D's
+        device-scale accounting, set by the built-in samplers.
     """
 
-    prop: SparseOp
+    prop: Union[SplitOperator, SparseOp]
     kept_positions: np.ndarray
     sampling_seconds: float
+    sampling_ops: Optional[int] = None
 
 
-def _finish(prop_matrix: sp.spmatrix, kept: np.ndarray, t0: float) -> EpochPlan:
+def plan_sampling_ops(rank_data, plan: EpochPlan) -> int:
+    """Elements the sampler touched drawing ``plan``.
+
+    Built-in samplers record the exact count on the plan; for custom
+    samplers fall back to the boundary draws plus the selected
+    boundary columns' edges.
+    """
+    if plan.sampling_ops is not None:
+        return plan.sampling_ops
+    prop = plan.prop
+    if isinstance(prop, SplitOperator):
+        extra = prop.boundary_nnz
+    else:  # custom sampler with a materialised operator
+        extra = max(prop.nnz - rank_data.p_in.nnz, 0)
+    return rank_data.n_boundary + extra
+
+
+def _finish(prop, kept: np.ndarray, t0: float, ops: int) -> EpochPlan:
     return EpochPlan(
-        prop=SparseOp(prop_matrix),
+        prop=prop,
         kept_positions=np.asarray(kept, dtype=np.int64),
         sampling_seconds=time.perf_counter() - t0,
+        sampling_ops=int(ops),
+    )
+
+
+def _empty_plan(rank_data, mode: str) -> EpochPlan:
+    """The cached kept-nothing plan: zero per-epoch cost."""
+    return EpochPlan(
+        prop=rank_data.empty_operator(mode),
+        kept_positions=np.empty(0, dtype=np.int64),
+        sampling_seconds=0.0,
+        sampling_ops=0,
     )
 
 
@@ -90,6 +155,33 @@ def _check_mode(mode: str) -> str:
     if mode not in MODES:
         raise ValueError(f"unknown estimator mode {mode!r}; known: {MODES}")
     return mode
+
+
+def explicit_stacked_operator(
+    rank_data, kept_positions: np.ndarray, mode: str, rate: float = 1.0
+) -> sp.csr_matrix:
+    """Legacy eager construction of the effective operator.
+
+    Materialises ``[P̃_in | P̃_bd]`` through per-epoch CSC conversion,
+    column slice, hstack and (for renorm) a full ``row_normalise``
+    rebuild — four O(nnz) sparse reallocations.  Kept as the reference
+    implementation: the equivalence tests assert the split operator
+    matches it to 1e-9, and the perf microbenchmark measures the
+    speedup of abandoning it.
+    """
+    kept = np.asarray(kept_positions, dtype=np.int64)
+    if mode == "renorm":
+        if kept.size == 0:
+            return row_normalise(rank_data.a_in)
+        sub = rank_data.a_bd.tocsc()[:, kept].tocsr()
+        stacked = sp.hstack([rank_data.a_in, sub], format="csr")
+        return row_normalise(stacked)
+    if kept.size == 0:
+        return sp.csr_matrix(rank_data.p_in, dtype=np.float64)
+    sub = rank_data.p_bd.tocsc()[:, kept]
+    if rate != 1.0:
+        sub = sub * (1.0 / rate)
+    return sp.hstack([rank_data.p_in, sub.tocsr()], format="csr")
 
 
 class BoundarySampler:
@@ -104,27 +196,17 @@ class BoundarySampler:
 class FullBoundarySampler(BoundarySampler):
     """No sampling — vanilla partition parallelism (BNS with p = 1).
 
-    Plans are computed once per rank and reused, so the per-epoch
-    sampling overhead is zero, matching Table 12's p = 1 row.
+    Serves the rank's precomputed full operator
+    (:meth:`RankData.full_operator`), shared with every other consumer
+    of the degenerate plans, so the per-epoch sampling overhead is
+    zero, matching Table 12's p = 1 row.
     """
 
     name = "full"
 
-    def __init__(self) -> None:
-        self._cache: dict = {}
-
     def plan(self, rank_data, rng) -> EpochPlan:
-        key = rank_data.rank
-        if key not in self._cache:
-            t0 = time.perf_counter()
-            kept = np.arange(rank_data.p_bd.shape[1], dtype=np.int64)
-            if rank_data.p_bd.shape[1]:
-                prop = sp.hstack([rank_data.p_in, rank_data.p_bd], format="csr")
-            else:
-                prop = rank_data.p_in
-            self._cache[key] = _finish(prop, kept, t0)
-        cached = self._cache[key]
-        return EpochPlan(cached.prop, cached.kept_positions, 0.0)
+        op = rank_data.full_operator()
+        return EpochPlan(op, op.kept_cols, 0.0, sampling_ops=0)
 
 
 class BoundaryNodeSampler(BoundarySampler):
@@ -143,27 +225,63 @@ class BoundaryNodeSampler(BoundarySampler):
         self.mode = _check_mode(mode)
 
     def plan(self, rank_data, rng) -> EpochPlan:
-        t0 = time.perf_counter()
-        n_bd = rank_data.p_bd.shape[1]
+        n_bd = rank_data.n_boundary
         if self.p == 0.0 or n_bd == 0:
-            kept = np.empty(0, dtype=np.int64)
-            if self.mode == "renorm":
-                return _finish(row_normalise(rank_data.a_in), kept, t0)
-            return _finish(rank_data.p_in, kept, t0)
-        keep = rng.random(n_bd) < self.p
-        kept = np.flatnonzero(keep)
-        if self.mode == "renorm":
-            if kept.size == 0:
-                return _finish(row_normalise(rank_data.a_in), kept, t0)
-            sub = rank_data.a_bd.tocsc()[:, kept].tocsr()
-            stacked = sp.hstack([rank_data.a_in, sub], format="csr")
-            return _finish(row_normalise(stacked), kept, t0)
-        # scale mode: fixed operator, kept columns rescaled by 1/p.
+            return _empty_plan(rank_data, self.mode)
+        t0 = time.perf_counter()
+        kept = np.flatnonzero(rng.random(n_bd) < self.p)
         if kept.size == 0:
-            return _finish(rank_data.p_in, kept, t0)
-        sub = rank_data.p_bd.tocsc()[:, kept] * (1.0 / self.p)
-        stacked = sp.hstack([rank_data.p_in, sub.tocsr()], format="csr")
-        return _finish(stacked, kept, t0)
+            plan = _empty_plan(rank_data, self.mode)
+            plan.sampling_seconds = time.perf_counter() - t0
+            plan.sampling_ops = n_bd  # the draw still happened
+            return plan
+        if self.mode == "renorm":
+            bd = rank_data.a_bd_csc[:, kept]
+            deg = rank_data.inner_deg + np.asarray(bd.sum(axis=1)).ravel()
+            op = SplitOperator(
+                rank_data.a_in,
+                bd,
+                kept,
+                row_scale=safe_inverse(deg),
+                inner_t=rank_data.a_in_t,
+            )
+        else:
+            op = SplitOperator(
+                rank_data.p_in,
+                rank_data.p_bd_csc[:, kept],
+                kept,
+                col_scale=1.0 / self.p,
+                inner_t=rank_data.p_in_t,
+            )
+        # Touched: one Bernoulli draw per boundary node + the kept
+        # columns' edges (slice + degree SpMV).
+        return _finish(op, kept, t0, ops=n_bd + op.boundary_nnz)
+
+
+def _sample_bd_block(
+    rank_data, mode: str, q: float, rng, scale: float
+):
+    """Draw boundary edges w.p. ``q`` straight off the CSC arrays.
+
+    Returns ``(sub, kept)`` — the surviving columns' block (CSC,
+    compacted) and their boundary positions — without a per-epoch COO
+    round-trip; the edge→column map is precomputed on the rank.
+    """
+    csc = rank_data.a_bd_csc if mode == "renorm" else rank_data.p_bd_csc
+    edge_cols = rank_data.bd_edge_cols(mode)
+    keep = rng.random(csc.nnz) < q
+    cols = edge_cols[keep]
+    kept = np.unique(cols)
+    if kept.size == 0:
+        return None, kept
+    data = csc.data[keep]
+    if scale != 1.0:
+        data = data * scale
+    sub = sp.csc_matrix(
+        (data, (csc.indices[keep], np.searchsorted(kept, cols))),
+        shape=(csc.shape[0], kept.size),
+    )
+    return sub, kept
 
 
 class BoundaryEdgeSampler(BoundarySampler):
@@ -182,35 +300,42 @@ class BoundaryEdgeSampler(BoundarySampler):
         self.mode = _check_mode(mode)
 
     def plan(self, rank_data, rng) -> EpochPlan:
+        if rank_data.n_boundary == 0 or self.q == 0.0:
+            return _empty_plan(rank_data, self.mode)
         t0 = time.perf_counter()
-        bd = rank_data.a_bd if self.mode == "renorm" else rank_data.p_bd
-        inner = rank_data.a_in if self.mode == "renorm" else rank_data.p_in
-        n_bd = bd.shape[1]
-        if n_bd == 0 or self.q == 0.0:
-            kept = np.empty(0, dtype=np.int64)
-            prop = row_normalise(inner) if self.mode == "renorm" else inner
-            return _finish(prop, kept, t0)
-        coo = bd.tocoo()
-        keep_edge = rng.random(coo.nnz) < self.q
-        data = coo.data[keep_edge]
-        if self.mode == "scale" and self.q > 0:
-            data = data / self.q
-        sub = sp.coo_matrix(
-            (data, (coo.row[keep_edge], coo.col[keep_edge])), shape=bd.shape
-        ).tocsc()
-        kept = np.flatnonzero(np.diff(sub.indptr) > 0)
-        sub = sub[:, kept].tocsr()
-        stacked = sp.hstack([inner, sub], format="csr") if kept.size else inner
+        scale = (1.0 / self.q) if self.mode == "scale" else 1.0
+        sub, kept = _sample_bd_block(rank_data, self.mode, self.q, rng, scale)
+        if sub is None:
+            plan = _empty_plan(rank_data, self.mode)
+            plan.sampling_seconds = time.perf_counter() - t0
+            plan.sampling_ops = rank_data.a_bd.nnz  # every edge was drawn
+            return plan
         if self.mode == "renorm":
-            stacked = row_normalise(stacked)
-        return _finish(stacked, kept, t0)
+            deg = rank_data.inner_deg + np.asarray(sub.sum(axis=1)).ravel()
+            op = SplitOperator(
+                rank_data.a_in,
+                sub,
+                kept,
+                row_scale=safe_inverse(deg),
+                inner_t=rank_data.a_in_t,
+            )
+        else:
+            op = SplitOperator(
+                rank_data.p_in, sub, kept, inner_t=rank_data.p_in_t
+            )
+        # Touched: one Bernoulli draw per boundary *edge* + the
+        # surviving edges re-packed into the kept block.
+        bd_universe_nnz = rank_data.a_bd.nnz
+        return _finish(op, kept, t0, ops=bd_universe_nnz + op.boundary_nnz)
 
 
 class DropEdgeSampler(BoundarySampler):
     """DropEdge: drop edges uniformly over the whole local block.
 
     Inner edges are dropped too (DropEdge's global semantics), which
-    perturbs computation without reducing communication much.
+    perturbs computation without reducing communication much.  The
+    inner block changes per epoch, so this is the one sampler whose
+    plan cost stays O(nnz) — exactly the contrast Table 12 draws.
     """
 
     name = "dropedge"
@@ -223,25 +348,30 @@ class DropEdgeSampler(BoundarySampler):
 
     def plan(self, rank_data, rng) -> EpochPlan:
         t0 = time.perf_counter()
-        bd = rank_data.a_bd if self.mode == "renorm" else rank_data.p_bd
-        inner = rank_data.a_in if self.mode == "renorm" else rank_data.p_in
+        inner_csr = rank_data.a_in if self.mode == "renorm" else rank_data.p_in
         scale = (1.0 / self.q) if (self.mode == "scale" and self.q > 0) else 1.0
 
-        def sample_block(block: sp.spmatrix) -> sp.csc_matrix:
-            coo = block.tocoo()
-            keep = rng.random(coo.nnz) < self.q
-            return sp.coo_matrix(
-                (coo.data[keep] * scale, (coo.row[keep], coo.col[keep])),
-                shape=block.shape,
-            ).tocsc()
-
-        inner_eff = sample_block(inner).tocsr()
-        sub = sample_block(bd)
-        kept = np.flatnonzero(np.diff(sub.indptr) > 0)
-        sub = sub[:, kept].tocsr()
-        stacked = (
-            sp.hstack([inner_eff, sub], format="csr") if kept.size else inner_eff
+        rows, cols = rank_data.inner_edges(self.mode)
+        keep = rng.random(inner_csr.nnz) < self.q
+        inner_eff = sp.csr_matrix(
+            (inner_csr.data[keep] * scale, (rows[keep], cols[keep])),
+            shape=inner_csr.shape,
         )
+        if rank_data.n_boundary and self.q > 0.0:
+            sub, kept = _sample_bd_block(
+                rank_data, self.mode, self.q, rng, scale
+            )
+        else:
+            sub, kept = None, np.empty(0, dtype=np.int64)
+        row_scale = None
         if self.mode == "renorm":
-            stacked = row_normalise(stacked)
-        return _finish(stacked, kept, t0)
+            deg = np.asarray(inner_eff.sum(axis=1)).ravel()
+            if sub is not None:
+                deg = deg + np.asarray(sub.sum(axis=1)).ravel()
+            row_scale = safe_inverse(deg)
+        op = SplitOperator(inner_eff, sub, kept, row_scale=row_scale)
+        # DropEdge Bernoulli-draws every stored edge of the local block
+        # and rebuilds the surviving structure — the O(nnz) per-epoch
+        # cost that Table 12 contrasts against BNS's boundary-only work.
+        universe_nnz = inner_csr.nnz + rank_data.a_bd.nnz
+        return _finish(op, kept, t0, ops=universe_nnz + op.nnz)

@@ -47,7 +47,7 @@ from ..nn.optim import Adam, Optimizer
 from ..partition.types import PartitionResult
 from ..tensor import Tensor, concat_rows, dropout as dropout_op, gather_rows, no_grad, relu
 from .bns import PartitionRuntime, RankData
-from .sampler import BoundarySampler, FullBoundarySampler
+from .sampler import BoundarySampler, FullBoundarySampler, plan_sampling_ops
 
 __all__ = ["TrainHistory", "DistributedTrainer"]
 
@@ -157,10 +157,10 @@ class DistributedTrainer:
         sampling_seconds = sum(pl.sampling_seconds for pl in plans)
         # Modelled (device-scale) sampling cost for the epoch-time
         # breakdown: proportional to the elements the sampler touches
-        # (boundary nodes drawn + boundary-block edges re-sliced).
-        # Plans with zero wall cost are cached (p=1): zero ops.
+        # (boundary nodes drawn + edges of the selected columns).
+        # Plans with zero wall cost are cached (p ∈ {0, 1}): zero ops.
         sampling_ops = sum(
-            (r.n_boundary + max(pl.prop.nnz - r.p_in.nnz, 0))
+            plan_sampling_ops(r, pl)
             for r, pl in zip(ranks, plans)
             if pl.sampling_seconds > 0.0
         )
@@ -218,6 +218,9 @@ class DistributedTrainer:
         loss.backward()
 
         # --- lines 14-15: AllReduce + update ---------------------------
+        # Snapshot point-to-point traffic first: the collective is
+        # priced from the model size, not as pairwise bytes.
+        p2p_bytes = self.comm.pairwise.copy()
         self.comm.allreduce(self.model.num_parameters(), "reduce")
         self.optimizer.step()
 
@@ -228,7 +231,7 @@ class DistributedTrainer:
         if self.cluster is not None:
             breakdown = epoch_time(
                 per_rank_flops=flops,
-                pairwise_comm_bytes=self.comm.pairwise,
+                pairwise_comm_bytes=p2p_bytes,
                 model_bytes=self.model.num_parameters() * BYTES,
                 cluster=self.cluster,
                 sampling_seconds=modeled_sampling,

@@ -26,7 +26,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph.propagation import row_normalise
+from ..graph.propagation import safe_inverse
 
 __all__ = [
     "OneStepProblem",
@@ -47,6 +47,12 @@ class OneStepProblem:
     ``h_in`` are inner-node features (n_in, d); ``h_bd`` boundary
     features (n_bd, d); ``weight`` the layer transform (d, d_out).
     ``a_in`` / ``a_bd`` are the raw adjacency blocks for renorm mode.
+
+    Monte-Carlo estimation draws thousands of boundary subsets per
+    problem, so the sampling-invariant structures (CSC views of the
+    boundary blocks, the inner degree vector) are cached on the
+    instance the same way :class:`~repro.core.bns.RankData` caches
+    them for the training hot path.
     """
 
     p_in: sp.csr_matrix
@@ -70,6 +76,26 @@ class OneStepProblem:
     def n_boundary(self) -> int:
         return self.p_bd.shape[1]
 
+    def _cached(self, key: str, build):
+        cache = self.__dict__.setdefault("_cache", {})
+        if key not in cache:
+            cache[key] = build()
+        return cache[key]
+
+    @property
+    def p_bd_csc(self) -> sp.csc_matrix:
+        return self._cached("p_bd_csc", self.p_bd.tocsc)
+
+    @property
+    def a_bd_csc(self) -> sp.csc_matrix:
+        return self._cached("a_bd_csc", self.a_bd.tocsc)
+
+    @property
+    def inner_deg(self) -> np.ndarray:
+        return self._cached(
+            "inner_deg", lambda: np.asarray(self.a_in.sum(axis=1)).ravel()
+        )
+
 
 def gamma_bound(problem: OneStepProblem) -> float:
     """Assumption A.1's γ: max row L2-norm of H·W over all nodes."""
@@ -87,7 +113,12 @@ def bns_estimate(
     rng: np.random.Generator,
     mode: str = "scale",
 ) -> np.ndarray:
-    """BNS one-step estimate: sample boundary nodes w.p. ``p``."""
+    """BNS one-step estimate: sample boundary nodes w.p. ``p``.
+
+    Runs the split-operator computation — inner product plus a kept
+    boundary-column product, renormalised through a row-scale vector —
+    so repeated draws never rebuild the stacked operator.
+    """
     if not 0.0 < p <= 1.0:
         raise ValueError("p must be in (0, 1] for estimation")
     keep = rng.random(problem.n_boundary) < p
@@ -95,18 +126,17 @@ def bns_estimate(
     if mode == "scale":
         z = problem.p_in @ problem.h_in
         if kept.size:
-            z = z + (problem.p_bd.tocsc()[:, kept] @ problem.h_bd[kept]) / p
+            z = z + (problem.p_bd_csc[:, kept] @ problem.h_bd[kept]) / p
         return z @ problem.weight
     if mode == "renorm":
+        z = problem.a_in @ problem.h_in
+        deg = problem.inner_deg
         if kept.size:
-            stacked = sp.hstack(
-                [problem.a_in, problem.a_bd.tocsc()[:, kept]], format="csr"
-            )
-            h = np.vstack([problem.h_in, problem.h_bd[kept]])
-        else:
-            stacked = problem.a_in
-            h = problem.h_in
-        return (row_normalise(stacked) @ h) @ problem.weight
+            bd = problem.a_bd_csc[:, kept]
+            z = z + bd @ problem.h_bd[kept]
+            deg = deg + np.asarray(bd.sum(axis=1)).ravel()
+        inv = safe_inverse(deg)
+        return (z * inv[:, None]) @ problem.weight
     raise ValueError(f"unknown mode {mode!r}")
 
 

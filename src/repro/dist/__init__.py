@@ -1,0 +1,48 @@
+"""Distributed-execution substrate: metered communication and cost models.
+
+The paper evaluates BNS-GCN on real clusters; this package provides the
+laptop-scale stand-ins used across the repo:
+
+* :mod:`repro.dist.comm` — :class:`SimulatedCommunicator`, the byte
+  metering layer behind every trainer (Eq. 3 made measurable);
+* :mod:`repro.dist.cost_model` — device/cluster specs, the per-epoch
+  time model (compute / boundary communication / AllReduce / sampling)
+  and the analytic system models for BNS, ROC and CAGNET used by the
+  Figure 4-6 benchmarks, plus the Eq. 4 memory model;
+* :mod:`repro.dist.systems` — :class:`Workload`, the partition-level
+  summary (sizes, boundary pair counts, nnz) the cost and memory
+  models consume.
+"""
+
+from .comm import SimulatedCommunicator
+from .cost_model import (
+    SECONDS_PER_SAMPLER_EDGE,
+    ClusterSpec,
+    DeviceSpec,
+    EpochBreakdown,
+    MemoryModel,
+    RTX2080TI_CLUSTER,
+    V100_MULTI_MACHINE,
+    bns_epoch_model,
+    cagnet_epoch_model,
+    epoch_time,
+    roc_epoch_model,
+)
+from .systems import Workload, build_workload
+
+__all__ = [
+    "SimulatedCommunicator",
+    "SECONDS_PER_SAMPLER_EDGE",
+    "ClusterSpec",
+    "DeviceSpec",
+    "EpochBreakdown",
+    "MemoryModel",
+    "RTX2080TI_CLUSTER",
+    "V100_MULTI_MACHINE",
+    "bns_epoch_model",
+    "cagnet_epoch_model",
+    "epoch_time",
+    "roc_epoch_model",
+    "Workload",
+    "build_workload",
+]

@@ -1,0 +1,108 @@
+"""Partition-level workload summaries for the cost/memory models.
+
+A :class:`Workload` is everything the analytic models need to price an
+epoch or a memory footprint — sizes, boundary ownership pair counts and
+sparsity — without holding the graph itself.  It is what you would ship
+to a scheduler deciding how many machines a training job needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Workload", "build_workload"]
+
+
+@dataclass
+class Workload:
+    """One partitioned training job, summarised.
+
+    Attributes
+    ----------
+    inner_sizes:
+        ``(m,)`` — ``|V_i|`` per partition.
+    boundary_pair_counts:
+        ``(m, m)`` — entry ``[j, i]`` counts the boundary nodes of
+        partition *i* owned by partition *j* (column sums are
+        ``|B_i|``, row sums the nodes each owner must serve).
+    nnz_inner / nnz_boundary:
+        ``(m,)`` — edges in each rank's ``P_in`` / ``P_bd`` block.
+    layer_dims:
+        Model widths ``[d_0, ..., d_L]`` (input → output).
+    model_params:
+        Parameter count (drives the AllReduce and optimizer memory).
+    num_nodes:
+        ``|V|`` of the underlying graph.
+    """
+
+    inner_sizes: np.ndarray
+    boundary_pair_counts: np.ndarray
+    nnz_inner: np.ndarray
+    nnz_boundary: np.ndarray
+    layer_dims: Sequence[int]
+    model_params: int
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        self.inner_sizes = np.asarray(self.inner_sizes, dtype=np.int64)
+        self.boundary_pair_counts = np.asarray(
+            self.boundary_pair_counts, dtype=np.int64
+        )
+        self.nnz_inner = np.asarray(self.nnz_inner, dtype=np.int64)
+        self.nnz_boundary = np.asarray(self.nnz_boundary, dtype=np.int64)
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.inner_sizes)
+
+    @property
+    def boundary_sizes(self) -> np.ndarray:
+        """``|B_i]`` per partition (Eq. 3's per-receiver counts)."""
+        return self.boundary_pair_counts.sum(axis=0)
+
+    @property
+    def total_nnz(self) -> int:
+        return int(self.nnz_inner.sum() + self.nnz_boundary.sum())
+
+
+def build_workload(
+    graph,
+    partition,
+    layer_dims: Sequence[int],
+    model_params: int = 0,
+) -> Workload:
+    """Summarise (graph, partition, model) into a :class:`Workload`."""
+    adj = graph.adj
+    assignment = partition.assignment
+    m = partition.num_parts
+    inner_sizes = np.zeros(m, dtype=np.int64)
+    pair = np.zeros((m, m), dtype=np.int64)
+    nnz_inner = np.zeros(m, dtype=np.int64)
+    nnz_boundary = np.zeros(m, dtype=np.int64)
+    for i in range(m):
+        inner = partition.inner_nodes(i)
+        boundary = partition.boundary_nodes(adj, i)
+        inner_sizes[i] = len(inner)
+        if len(boundary):
+            owners = assignment[boundary]
+            pair[:, i] = np.bincount(owners, minlength=m)
+        rows = adj[inner]
+        if len(boundary):
+            cols = np.concatenate([inner, boundary])
+            block = rows[:, cols]
+            nnz_boundary[i] = block[:, len(inner):].nnz
+            nnz_inner[i] = block[:, : len(inner)].nnz
+        else:
+            nnz_inner[i] = rows[:, inner].nnz
+    return Workload(
+        inner_sizes=inner_sizes,
+        boundary_pair_counts=pair,
+        nnz_inner=nnz_inner,
+        nnz_boundary=nnz_boundary,
+        layer_dims=list(layer_dims),
+        model_params=int(model_params),
+        num_nodes=graph.num_nodes,
+    )

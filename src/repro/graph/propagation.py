@@ -15,7 +15,20 @@ import scipy.sparse as sp
 
 from ..tensor import SparseOp
 
-__all__ = ["mean_aggregation", "sym_norm", "row_normalise"]
+__all__ = ["mean_aggregation", "sym_norm", "row_normalise", "safe_inverse"]
+
+
+def safe_inverse(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``1/x`` with non-finite results (x = 0) set to 0.
+
+    The row-scale vector of a lazily-normalised operator: zero-degree
+    rows stay all-zero instead of propagating inf/nan.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / values
+    inv[~np.isfinite(inv)] = 0.0
+    return inv
 
 
 def mean_aggregation(adj: sp.spmatrix) -> SparseOp:
@@ -37,10 +50,13 @@ def sym_norm(adj: sp.spmatrix, add_self_loops: bool = True) -> SparseOp:
 
 
 def row_normalise(matrix: sp.csr_matrix) -> sp.csr_matrix:
-    """Divide each row by its sum (zero rows stay zero)."""
+    """Divide each row by its sum (zero rows stay zero).
+
+    Note this materialises a rescaled copy of the matrix; the
+    boundary-sampling hot path avoids it by carrying the inverse row
+    sums as the ``row_scale`` of a
+    :class:`~repro.tensor.sparse.SplitOperator` instead.
+    """
     m = sp.csr_matrix(matrix, dtype=np.float64)
-    row_sum = np.asarray(m.sum(axis=1)).ravel()
-    with np.errstate(divide="ignore"):
-        inv = 1.0 / row_sum
-    inv[~np.isfinite(inv)] = 0.0
+    inv = safe_inverse(np.asarray(m.sum(axis=1)).ravel())
     return sp.diags(inv) @ m

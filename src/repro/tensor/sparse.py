@@ -1,27 +1,43 @@
 """Sparse matrix support: constant CSR operators and autograd SpMM.
 
 GCN aggregation is a sparse-dense matmul ``Z = P @ H`` where ``P`` is a
-fixed propagation matrix derived from the adjacency structure.  We wrap
-``scipy.sparse.csr_matrix`` in :class:`SparseOp` and provide
-:func:`spmm` whose backward multiplies by ``P.T`` — exactly what DGL's
-``update_all`` with a copy/sum message function compiles to.
+fixed propagation matrix derived from the adjacency structure.  Two
+operator representations are provided:
 
-The matrix values never require gradients (attention-weighted
-aggregation for GAT is built from edge-level ops in
+* :class:`SparseOp` — a plain CSR wrapper for operators that exist as
+  one materialised matrix (the full-graph propagation, baselines).
+* :class:`SplitOperator` — the boundary-sampled partition operator
+  ``rowscale ⊙ [P_in | P_bd[:, kept] · colscale]`` kept in *split*
+  form.  Partition-parallel epochs need a fresh operator per epoch per
+  rank; materialising the stacked matrix costs several full sparse
+  copies (CSC conversion, column slice, CSR conversion, hstack,
+  row-normalise) — all O(nnz) — every epoch.  The split form stores
+  the immutable inner block once, selects boundary columns lazily from
+  a prebuilt CSC view (O(kept nnz)), and folds renormalisation into a
+  row-scale vector, so per-epoch plan construction touches only the
+  kept boundary set.  ``spmm`` computes
+  ``rowscale ⊙ (P_in @ H_in + P_bd_kept @ (colscale ⊙ H_bd))``
+  without ever forming ``[P̃_in | P̃_bd]``; the backward multiplies by
+  the transposed blocks (the inner transpose is shared across epochs).
+
+:func:`spmm` dispatches on the operator type; its backward multiplies
+by ``P.T`` — exactly what DGL's ``update_all`` with a copy/sum message
+function compiles to.  The matrix values never require gradients
+(attention-weighted aggregation for GAT is built from edge-level ops in
 :mod:`repro.tensor.ops` instead), so the implementation stays simple
 and fast.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from .tensor import Tensor, as_tensor
 
-__all__ = ["SparseOp", "spmm"]
+__all__ = ["SparseOp", "SplitOperator", "spmm"]
 
 
 class SparseOp:
@@ -83,12 +99,213 @@ class SparseOp:
         return f"SparseOp(shape={self.shape}, nnz={self.nnz})"
 
 
-def spmm(op: SparseOp, dense: Tensor) -> Tensor:
+class SplitOperator:
+    """``rowscale ⊙ [P_in | P_bd_kept · colscale]`` kept in split form.
+
+    Parameters
+    ----------
+    inner:
+        ``(n_in, n_in)`` CSR inner block, shared across epochs.
+    boundary:
+        ``(n_in, k)`` boundary block of the *kept* columns (CSC), or
+        ``None`` when no boundary columns survive.
+    kept_cols:
+        Positions of the kept columns inside the rank's boundary list
+        (metadata used by consumers to route communication).
+    row_scale:
+        Optional ``(n_in,)`` vector applied to every row of the
+        stacked operator — the lazy form of ``row_normalise``; for
+        renorm-mode sampling it is ``1 / (inner_deg + A_bd_kept·1)``,
+        one SpMV on the kept block instead of a full matrix rebuild.
+    col_scale:
+        Optional scalar applied to the boundary block only (the
+        1/p rescale of the unbiased estimator).
+    inner_t:
+        Optional precomputed CSR transpose of ``inner``; pass the
+        rank-level cached transpose so the SpMM backward does not
+        re-transpose the (immutable) inner block every epoch.
+    """
+
+    __slots__ = (
+        "inner",
+        "boundary",
+        "kept_cols",
+        "row_scale",
+        "col_scale",
+        "_inner_t",
+        "_boundary_t",
+        "_boundary_csr",
+        "_csr",
+    )
+
+    def __init__(
+        self,
+        inner: sp.csr_matrix,
+        boundary: Optional[sp.spmatrix] = None,
+        kept_cols: Optional[np.ndarray] = None,
+        row_scale: Optional[np.ndarray] = None,
+        col_scale: Optional[float] = None,
+        inner_t: Optional[sp.csr_matrix] = None,
+    ) -> None:
+        self.inner = inner
+        if boundary is not None and boundary.shape[1] == 0:
+            boundary = None
+        self.boundary = boundary
+        if kept_cols is None:
+            k = boundary.shape[1] if boundary is not None else 0
+            kept_cols = np.arange(k, dtype=np.int64)
+        self.kept_cols = np.asarray(kept_cols, dtype=np.int64)
+        self.row_scale = row_scale
+        if col_scale is not None and col_scale == 1.0:
+            col_scale = None
+        self.col_scale = col_scale
+        self._inner_t = inner_t
+        self._boundary_t = None
+        self._boundary_csr = None
+        self._csr = None
+
+    @classmethod
+    def select(
+        cls,
+        inner: sp.csr_matrix,
+        boundary_csc: sp.csc_matrix,
+        kept_cols: np.ndarray,
+        row_scale: Optional[np.ndarray] = None,
+        col_scale: Optional[float] = None,
+        inner_t: Optional[sp.csr_matrix] = None,
+    ) -> "SplitOperator":
+        """Select ``kept_cols`` from a prebuilt boundary CSC universe.
+
+        The slice costs O(nnz of the kept columns) — the whole point
+        of precomputing the CSC view once per rank.
+        """
+        kept_cols = np.asarray(kept_cols, dtype=np.int64)
+        bd = boundary_csc[:, kept_cols] if kept_cols.size else None
+        return cls(inner, bd, kept_cols, row_scale, col_scale, inner_t)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        k = self.boundary.shape[1] if self.boundary is not None else 0
+        return (self.inner.shape[0], self.inner.shape[1] + k)
+
+    @property
+    def inner_nnz(self) -> int:
+        return self.inner.nnz
+
+    @property
+    def boundary_nnz(self) -> int:
+        return self.boundary.nnz if self.boundary is not None else 0
+
+    @property
+    def nnz(self) -> int:
+        return self.inner_nnz + self.boundary_nnz
+
+    @property
+    def inner_t(self) -> sp.csr_matrix:
+        if self._inner_t is None:
+            self._inner_t = self.inner.T.tocsr()
+        return self._inner_t
+
+    @property
+    def boundary_t(self):
+        if self._boundary_t is None and self.boundary is not None:
+            self._boundary_t = self.boundary.T.tocsr()
+        return self._boundary_t
+
+    @property
+    def boundary_csr(self):
+        """CSR view of the boundary block (row-major products are
+        faster; converted once per plan, reused every layer)."""
+        if self._boundary_csr is None and self.boundary is not None:
+            self._boundary_csr = sp.csr_matrix(self.boundary)
+        return self._boundary_csr
+
+    # ------------------------------------------------------------------
+    @property
+    def csr(self) -> sp.csr_matrix:
+        """The stacked operator, materialised lazily (and cached).
+
+        Only inspection/debug paths need this; training and planning
+        never call it.  It is also the reference the equivalence tests
+        compare the split SpMM against.
+        """
+        if self._csr is None:
+            if self.boundary is not None:
+                bd = self.boundary
+                if self.col_scale is not None:
+                    bd = bd * self.col_scale
+                stacked = sp.hstack([self.inner, bd], format="csr")
+            else:
+                stacked = self.inner.copy()
+            if self.row_scale is not None:
+                stacked = sp.diags(self.row_scale) @ stacked
+            self._csr = sp.csr_matrix(stacked, dtype=np.float64)
+        return self._csr
+
+    def toarray(self) -> np.ndarray:
+        return self.csr.toarray()
+
+    def matmul(self, h: np.ndarray) -> np.ndarray:
+        """Split-form product ``P_eff @ h`` on a raw ndarray (no tape)."""
+        n_in = self.inner.shape[1]
+        out = self.inner @ h[:n_in]
+        if self.boundary is not None:
+            h_bd = h[n_in:]
+            if self.col_scale is not None:
+                h_bd = h_bd * self.col_scale
+            out += self.boundary_csr @ h_bd
+        if self.row_scale is not None:
+            out *= self.row_scale[:, None] if out.ndim == 2 else self.row_scale
+        return out
+
+    def rmatmul(self, g: np.ndarray) -> np.ndarray:
+        """Transposed product ``P_eff.T @ g`` (the SpMM backward)."""
+        if self.row_scale is not None:
+            g = g * (self.row_scale[:, None] if g.ndim == 2 else self.row_scale)
+        n_in = self.inner.shape[1]
+        k = self.boundary.shape[1] if self.boundary is not None else 0
+        shape = (n_in + k,) + g.shape[1:]
+        out = np.empty(shape, dtype=g.dtype)
+        out[:n_in] = self.inner_t @ g
+        if self.boundary is not None:
+            d_bd = self.boundary_t @ g
+            if self.col_scale is not None:
+                d_bd = d_bd * self.col_scale
+            out[n_in:] = d_bd
+        return out
+
+    def frobenius_norm_sq(self) -> float:
+        return float((self.csr.data ** 2).sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"SplitOperator(shape={self.shape}, inner_nnz={self.inner_nnz}, "
+            f"boundary_nnz={self.boundary_nnz}, "
+            f"renorm={self.row_scale is not None}, "
+            f"col_scale={self.col_scale})"
+        )
+
+
+AnyOp = Union[SparseOp, SplitOperator]
+
+
+def spmm(op: AnyOp, dense: Tensor) -> Tensor:
     """Sparse @ dense with autograd through the dense operand.
 
-    Forward: ``out = P @ H``.  Backward: ``dH = P.T @ dOut``.
+    Forward: ``out = P @ H``.  Backward: ``dH = P.T @ dOut``.  For a
+    :class:`SplitOperator` both directions run in split form — the
+    stacked matrix is never materialised.
     """
     dense = as_tensor(dense)
+    if isinstance(op, SplitOperator):
+        out_data = op.matmul(dense.data)
+
+        def backward_split(g: np.ndarray):
+            return ((dense, op.rmatmul(g)),)
+
+        return Tensor._make(out_data, (dense,), "spmm", backward_split)
+
     out_data = op.csr @ dense.data
     csr_t = op.csr.T.tocsr()
 

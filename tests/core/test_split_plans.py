@@ -1,0 +1,213 @@
+"""Numerical equivalence of split-operator epoch plans vs the legacy
+explicit hstack + row_normalise construction, for every sampler × mode,
+plus the degenerate-plan caching contract."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BoundaryEdgeSampler,
+    BoundaryNodeSampler,
+    DropEdgeSampler,
+    FullBoundarySampler,
+    PartitionRuntime,
+    explicit_stacked_operator,
+)
+from repro.graph.generators import SyntheticSpec, generate_graph
+from repro.graph.propagation import row_normalise
+from repro.partition import partition_graph
+from repro.tensor import SplitOperator
+
+ATOL = 1e-9
+
+
+def runtime_for(seed, n=220, parts=3, method="metis"):
+    spec = SyntheticSpec(
+        n=n, num_communities=5, avg_degree=9.0, homophily=0.7,
+        feature_dim=8, name=f"split-eq-{seed}",
+    )
+    graph = generate_graph(spec, seed=seed)
+    part = partition_graph(graph, parts, method=method, seed=seed)
+    return PartitionRuntime(graph, part)
+
+
+@pytest.fixture(scope="module")
+def runtimes():
+    return {
+        (0, "metis"): runtime_for(0, method="metis"),
+        (1, "random"): runtime_for(1, method="random"),
+    }
+
+
+def features_for(rank_data, kept, d=5, seed=99):
+    rng = np.random.default_rng(seed)
+    h_in = rng.normal(size=(rank_data.n_inner, d))
+    h_bd = rng.normal(size=(len(kept), d))
+    return np.vstack([h_in, h_bd]) if len(kept) else h_in
+
+
+class TestBNSEquivalence:
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    @pytest.mark.parametrize("key", [(0, "metis"), (1, "random")])
+    @pytest.mark.parametrize("p", [0.1, 0.35, 0.8, 1.0])
+    def test_spmm_matches_explicit(self, runtimes, key, mode, p):
+        for rank_data in runtimes[key].ranks:
+            plan = BoundaryNodeSampler(p, mode=mode).plan(
+                rank_data, np.random.default_rng(7)
+            )
+            explicit = explicit_stacked_operator(
+                rank_data, plan.kept_positions, mode, rate=p
+            )
+            h = features_for(rank_data, plan.kept_positions)
+            np.testing.assert_allclose(
+                plan.prop.matmul(h), explicit @ h, atol=ATOL
+            )
+
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    def test_backward_matches_explicit(self, runtimes, mode):
+        rank_data = max(runtimes[(0, "metis")].ranks, key=lambda r: r.n_boundary)
+        plan = BoundaryNodeSampler(0.4, mode=mode).plan(
+            rank_data, np.random.default_rng(3)
+        )
+        explicit = explicit_stacked_operator(
+            rank_data, plan.kept_positions, mode, rate=0.4
+        )
+        g = np.random.default_rng(5).normal(size=(rank_data.n_inner, 4))
+        np.testing.assert_allclose(
+            plan.prop.rmatmul(g), explicit.T @ g, atol=ATOL
+        )
+
+    @given(st.floats(0.05, 0.95), st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_draws(self, p, seed):
+        rank_data = self._rank
+        for mode in ("renorm", "scale"):
+            plan = BoundaryNodeSampler(p, mode=mode).plan(
+                rank_data, np.random.default_rng(seed)
+            )
+            explicit = explicit_stacked_operator(
+                rank_data, plan.kept_positions, mode, rate=p
+            )
+            h = features_for(rank_data, plan.kept_positions, seed=seed)
+            np.testing.assert_allclose(
+                plan.prop.matmul(h), explicit @ h, atol=ATOL
+            )
+
+    @pytest.fixture(autouse=True)
+    def _attach(self, runtimes):
+        self._rank = max(
+            runtimes[(0, "metis")].ranks, key=lambda r: r.n_boundary
+        )
+
+
+class TestEdgeSamplerEquivalence:
+    """BES/DropEdge draw fresh boundary blocks; the reference is the
+    legacy construction applied to the same sampled blocks."""
+
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    @pytest.mark.parametrize("q", [0.2, 0.6, 1.0])
+    def test_bes_matches_stacked(self, runtimes, mode, q):
+        for rank_data in runtimes[(0, "metis")].ranks:
+            plan = BoundaryEdgeSampler(q, mode=mode).plan(
+                rank_data, np.random.default_rng(11)
+            )
+            op = plan.prop
+            blocks = [op.inner] + ([op.boundary] if op.boundary is not None else [])
+            stacked = sp.hstack(blocks, format="csr") if len(blocks) > 1 else blocks[0]
+            if mode == "renorm":
+                reference = row_normalise(stacked)
+            else:
+                reference = stacked  # data already carries the 1/q rescale
+            h = features_for(rank_data, plan.kept_positions, seed=13)
+            np.testing.assert_allclose(op.matmul(h), reference @ h, atol=ATOL)
+
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    def test_dropedge_matches_stacked(self, runtimes, mode):
+        for rank_data in runtimes[(1, "random")].ranks:
+            plan = DropEdgeSampler(0.5, mode=mode).plan(
+                rank_data, np.random.default_rng(17)
+            )
+            op = plan.prop
+            blocks = [op.inner] + ([op.boundary] if op.boundary is not None else [])
+            stacked = sp.hstack(blocks, format="csr") if len(blocks) > 1 else blocks[0]
+            reference = row_normalise(stacked) if mode == "renorm" else stacked
+            h = features_for(rank_data, plan.kept_positions, seed=19)
+            np.testing.assert_allclose(op.matmul(h), reference @ h, atol=ATOL)
+
+
+class TestDegenerateAndEmpty:
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    def test_p_zero_plan_is_cached_and_free(self, runtimes, mode):
+        rank_data = runtimes[(0, "metis")].ranks[0]
+        sampler = BoundaryNodeSampler(0.0, mode=mode)
+        a = sampler.plan(rank_data, np.random.default_rng(0))
+        b = sampler.plan(rank_data, np.random.default_rng(1))
+        assert a.prop is b.prop  # shared rank-level cache, no rebuild
+        assert a.sampling_seconds == 0.0 and b.sampling_seconds == 0.0
+        explicit = explicit_stacked_operator(
+            rank_data, np.empty(0, dtype=np.int64), mode
+        )
+        np.testing.assert_allclose(a.prop.toarray(), explicit.toarray(), atol=ATOL)
+
+    def test_full_plan_shared_across_sampler_instances(self, runtimes):
+        rank_data = runtimes[(0, "metis")].ranks[0]
+        p1 = FullBoundarySampler().plan(rank_data, np.random.default_rng(0))
+        p2 = FullBoundarySampler().plan(rank_data, np.random.default_rng(1))
+        assert p1.prop is p2.prop is rank_data.full_operator()
+        assert p1.sampling_seconds == 0.0
+
+    def test_empty_boundary_universe(self):
+        spec = SyntheticSpec(
+            n=80, num_communities=3, avg_degree=6.0, feature_dim=4,
+            name="single-part",
+        )
+        graph = generate_graph(spec, seed=4)
+        part = partition_graph(graph, 1, method="metis")
+        rank_data = PartitionRuntime(graph, part).ranks[0]
+        assert rank_data.n_boundary == 0
+        for mode in ("renorm", "scale"):
+            for sampler in (
+                BoundaryNodeSampler(0.5, mode=mode),
+                BoundaryEdgeSampler(0.5, mode=mode),
+                FullBoundarySampler(),
+            ):
+                plan = sampler.plan(rank_data, np.random.default_rng(0))
+                assert plan.prop.shape == (rank_data.n_inner, rank_data.n_inner)
+                assert plan.kept_positions.size == 0
+
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    def test_p_one_matches_explicit(self, runtimes, mode):
+        rank_data = max(runtimes[(0, "metis")].ranks, key=lambda r: r.n_boundary)
+        plan = BoundaryNodeSampler(1.0, mode=mode).plan(
+            rank_data, np.random.default_rng(0)
+        )
+        assert len(plan.kept_positions) == rank_data.n_boundary
+        explicit = explicit_stacked_operator(
+            rank_data, plan.kept_positions, mode, rate=1.0
+        )
+        np.testing.assert_allclose(
+            plan.prop.toarray(), explicit.toarray(), atol=ATOL
+        )
+
+    def test_empty_draw_reports_wall_cost(self, runtimes):
+        """A p > 0 draw that keeps nothing did real work: the plan is
+        the cached empty operator but the wall time is recorded."""
+        rank_data = runtimes[(0, "metis")].ranks[0]
+        sampler = BoundaryNodeSampler(1e-9, mode="renorm")
+        plan = sampler.plan(rank_data, np.random.default_rng(0))
+        assert plan.kept_positions.size == 0
+        assert plan.prop is rank_data.empty_operator("renorm")
+        assert plan.sampling_seconds > 0.0
+
+    def test_split_operator_type_everywhere(self, runtimes):
+        for rank_data in runtimes[(0, "metis")].ranks:
+            for sampler in (
+                FullBoundarySampler(),
+                BoundaryNodeSampler(0.3),
+                BoundaryEdgeSampler(0.3),
+                DropEdgeSampler(0.3),
+            ):
+                plan = sampler.plan(rank_data, np.random.default_rng(2))
+                assert isinstance(plan.prop, SplitOperator)
