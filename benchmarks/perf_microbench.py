@@ -115,6 +115,47 @@ def time_spmm(runtime, p: float, mode: str, reps: int, d: int = 64):
     return stacked_s / reps, split_s / reps
 
 
+def _allreduce_bench_worker(ep, task):
+    """One rank's timed AllReduce loop (module-level for process spawn)."""
+    scalars, reps, algorithm = task
+    data = np.full(scalars, float(ep.rank + 1))
+    out = ep.allreduce(data, "bench", algorithm=algorithm)  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        out = ep.allreduce(data, "bench", algorithm=algorithm)
+    elapsed = time.perf_counter() - t0
+    expected = ep.num_parts * (ep.num_parts + 1) / 2.0
+    assert np.allclose(out, expected), "allreduce produced a wrong sum"
+    return elapsed / reps
+
+
+def time_transports(parts: int, scalars: int, reps: int) -> dict:
+    """Per-AllReduce wall time on the two data-moving transports.
+
+    The simulated path is the 0-cost reference (metering only); the
+    local and multiprocess numbers show what the wire actually costs —
+    the gap is the overlap opportunity the pipelined trainer targets.
+    """
+    from repro.dist.transport import LocalTransport, MultiprocessTransport
+
+    out = {"parts": parts, "scalars": scalars, "reps": reps}
+    for name, cls in (("local", LocalTransport), ("multiprocess", MultiprocessTransport)):
+        for algorithm in ("ring", "tree"):
+            transport = cls(parts, recv_timeout=60.0)
+            per_rank = transport.launch(
+                _allreduce_bench_worker,
+                [(scalars, reps, algorithm)] * parts,
+                timeout=300.0,
+            )
+            seconds = max(per_rank)  # collective is paced by the slowest rank
+            out[f"{name}_{algorithm}_ms"] = round(seconds * 1e3, 4)
+            print(
+                f"allreduce[{name}/{algorithm}] {scalars} scalars x "
+                f"{parts} ranks: {seconds * 1e3:8.3f} ms"
+            )
+    return out
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--nodes", type=int, default=20000)
@@ -190,6 +231,12 @@ def main() -> int:
         "after_plans_per_sec": results["bns_renorm"]["split_plans_per_sec"],
         "speedup": results["bns_renorm"]["plan_speedup"],
     }
+
+    results["transport_allreduce"] = time_transports(
+        parts=min(args.parts, 4),
+        scalars=10_000 if args.smoke else 250_000,
+        reps=3 if args.smoke else 10,
+    )
 
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2)

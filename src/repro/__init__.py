@@ -36,6 +36,7 @@ from .core import (
     BoundaryEdgeSampler,
     DropEdgeSampler,
     FullBoundarySampler,
+    BNSTrainer,
     DistributedTrainer,
     DistributedGATTrainer,
     PipelinedTrainer,
@@ -44,6 +45,10 @@ from .core import (
 from .baselines import FullGraphTrainer
 from .dist import (
     SimulatedCommunicator,
+    LocalTransport,
+    MultiprocessTransport,
+    Transport,
+    ProcessRankExecutor,
     RTX2080TI_CLUSTER,
     V100_MULTI_MACHINE,
     MemoryModel,
@@ -75,7 +80,12 @@ __all__ = [
     "PipelinedTrainer",
     "PartitionRuntime",
     "FullGraphTrainer",
+    "BNSTrainer",
     "SimulatedCommunicator",
+    "LocalTransport",
+    "MultiprocessTransport",
+    "Transport",
+    "ProcessRankExecutor",
     "RTX2080TI_CLUSTER",
     "V100_MULTI_MACHINE",
     "MemoryModel",

@@ -9,6 +9,13 @@ training hyper-parameters.  This module provides the same workflow:
 
 It prints per-eval progress and a final summary with the metered
 communication and the modelled epoch breakdown.
+
+``dist-train`` runs the same training with ranks actually executing
+behind a data-moving transport (one worker process per partition by
+default), exchanging boundary features/gradients for real:
+
+    python -m repro dist-train --dataset reddit-sim --n-partitions 4 \\
+        --sampling-rate 0.1 --n-epochs 20 --transport multiprocess
 """
 
 from __future__ import annotations
@@ -36,7 +43,34 @@ from .nn.models import GATModel, GCNModel, GraphSAGEModel
 from .nn.schedulers import CosineAnnealingLR, StepLR
 from .partition import partition_graph
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_dist_parser", "main", "dist_train_main"]
+
+
+def _common_options() -> argparse.ArgumentParser:
+    """Options shared by the simulated and dist-train drivers."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--dataset", default="reddit-sim", choices=sorted(DATASET_SPECS),
+        help="which synthetic dataset analogue to train on",
+    )
+    common.add_argument("--scale", type=float, default=0.25,
+                        help="dataset size multiplier (1.0 = full analogue)")
+    common.add_argument("--n-partitions", type=int, default=4)
+    common.add_argument(
+        "--partition-method", default="metis",
+        choices=("metis", "random", "spectral"),
+    )
+    common.add_argument(
+        "--sampling-rate", type=float, default=0.1,
+        help="boundary node sampling rate p (1.0 = vanilla)",
+    )
+    common.add_argument("--n-hidden", type=int, default=64)
+    common.add_argument("--n-layers", type=int, default=2)
+    common.add_argument("--dropout", type=float, default=0.5)
+    common.add_argument("--lr", type=float, default=0.01)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--quiet", action="store_true")
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,25 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Partition-parallel GCN training with boundary node sampling",
-    )
-    parser.add_argument(
-        "--dataset", default="reddit-sim", choices=sorted(DATASET_SPECS),
-        help="which synthetic dataset analogue to train on",
-    )
-    parser.add_argument("--scale", type=float, default=0.25,
-                        help="dataset size multiplier (1.0 = full analogue)")
-    parser.add_argument("--n-partitions", type=int, default=4)
-    parser.add_argument(
-        "--partition-method", default="metis",
-        choices=("metis", "random", "spectral"),
+        epilog="subcommands: 'repro dist-train' runs the same training "
+               "with real multiprocess ranks behind a data-moving "
+               "transport (see 'repro dist-train --help')",
+        parents=[_common_options()],
     )
     parser.add_argument(
         "--partition-objective", default="volume", choices=("volume", "cut"),
         help="METIS-like objective (the paper uses communication volume)",
-    )
-    parser.add_argument(
-        "--sampling-rate", type=float, default=0.1,
-        help="boundary node sampling rate p (1.0 = vanilla)",
     )
     parser.add_argument(
         "--sampler", default="bns", choices=("bns", "bes", "dropedge"),
@@ -71,13 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--model", default="sage", choices=("sage", "gcn", "gat")
     )
-    parser.add_argument("--n-hidden", type=int, default=64)
-    parser.add_argument("--n-layers", type=int, default=2)
-    parser.add_argument("--dropout", type=float, default=0.5)
-    parser.add_argument("--lr", type=float, default=0.01)
     parser.add_argument("--n-epochs", type=int, default=200)
     parser.add_argument("--eval-every", type=int, default=25)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--pipelined", action="store_true",
         help="use the PipeGCN-style pipelined trainer (stale boundary "
@@ -99,13 +117,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="PATH", default=None,
         help="load model+optimizer state from a checkpoint before training",
     )
-    parser.add_argument("--quiet", action="store_true")
     return parser
+
+
+def build_dist_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``dist-train`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro dist-train",
+        description="Partition-parallel BNS training with real "
+                    "multiprocess (or threaded) ranks",
+        parents=[_common_options()],
+    )
+    parser.add_argument("--model", default="sage", choices=("sage", "gcn"))
+    parser.add_argument("--n-epochs", type=int, default=20)
+    parser.add_argument(
+        "--transport", default="multiprocess", choices=("multiprocess", "local"),
+        help="how ranks execute: worker processes over pipes, or "
+             "threads over queues",
+    )
+    parser.add_argument(
+        "--allreduce", default="ring", choices=("ring", "tree"),
+        help="gradient AllReduce algorithm (metering is the ring model "
+             "either way)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="launch deadline in seconds; a hung rank fails fast",
+    )
+    return parser
+
+
+def dist_train_main(argv: Sequence[str]) -> int:
+    """Run the ``dist-train`` subcommand; returns a process exit code."""
+    from .dist.executor import ProcessRankExecutor
+
+    parser = build_dist_parser()
+    args = parser.parse_args(argv)
+    if args.n_epochs < 1:
+        parser.error(f"--n-epochs must be >= 1, got {args.n_epochs}")
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if not args.quiet:
+        print(f"loaded {graph}")
+    partition = partition_graph(
+        graph, args.n_partitions, method=args.partition_method, seed=args.seed
+    )
+
+    rng = np.random.default_rng(args.seed + 7)
+    model_cls = GraphSAGEModel if args.model == "sage" else GCNModel
+    model = model_cls(
+        graph.feature_dim, args.n_hidden, graph.num_classes,
+        args.n_layers, args.dropout, rng,
+    )
+    p = args.sampling_rate
+    sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
+    executor = ProcessRankExecutor(
+        graph, partition, model, sampler,
+        transport=args.transport, lr=args.lr, seed=args.seed,
+        aggregation="sym" if args.model == "gcn" else "mean",
+        allreduce_algorithm=args.allreduce, timeout=args.timeout,
+    )
+    if not args.quiet:
+        print(
+            f"launching {args.n_partitions} ranks on the "
+            f"{executor.transport.name} transport"
+        )
+    result = executor.train(args.n_epochs)
+    scores = executor.evaluate()
+
+    history = result.history
+    rows = [
+        ["transport", executor.transport.name],
+        ["test score", f"{scores['test']:.4f}"],
+        ["val score", f"{scores['val']:.4f}"],
+        ["final loss", f"{history.loss[-1]:.4f}"],
+        ["comm / epoch", f"{np.mean(history.comm_bytes) / 1e6:.2f} MB"],
+        ["wall / epoch", f"{np.mean(history.wall_seconds) * 1e3:.1f} ms"],
+    ]
+    for tag, nbytes in sorted(result.by_tag[-1].items()):
+        rows.append([f"  bytes [{tag}]", f"{nbytes / 1e6:.3f} MB"])
+    print(format_table(["metric", "value"], rows, title="\ndist-train summary"))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Train one configuration from CLI args; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    arg_list = list(sys.argv[1:]) if argv is None else list(argv)
+    if arg_list and arg_list[0] == "dist-train":
+        return dist_train_main(arg_list[1:])
+    args = build_parser().parse_args(arg_list)
 
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if not args.quiet:

@@ -11,7 +11,7 @@ from .sampler import (
     plan_sampling_ops,
 )
 from .bns import PartitionRuntime, RankData
-from .trainer import DistributedTrainer, TrainHistory
+from .trainer import BNSTrainer, DistributedTrainer, TrainHistory
 from .gat_trainer import DistributedGATTrainer
 from .pipeline import PipelinedTrainer
 from .autotune import PerPartitionSampler, balanced_rates, max_rate_for_memory
@@ -28,6 +28,7 @@ __all__ = [
     "plan_sampling_ops",
     "PartitionRuntime",
     "RankData",
+    "BNSTrainer",
     "DistributedTrainer",
     "DistributedGATTrainer",
     "PipelinedTrainer",

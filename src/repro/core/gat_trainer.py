@@ -18,7 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..dist.comm import SimulatedCommunicator
+from ..dist.transport import resolve_transport
 from ..dist.cost_model import (
     SECONDS_PER_SAMPLER_EDGE,
     ClusterSpec,
@@ -68,6 +68,7 @@ class DistributedGATTrainer:
         seed: int = 0,
         cluster: Optional[ClusterSpec] = None,
         optimizer: Optional[Optimizer] = None,
+        transport=None,
     ) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"sampling rate p must be in [0, 1], got {p}")
@@ -75,7 +76,9 @@ class DistributedGATTrainer:
         self.model = model
         self.p = p
         self.runtime = PartitionRuntime(graph, partition, aggregation="mean")
-        self.comm = SimulatedCommunicator(partition.num_parts, bytes_per_scalar=BYTES)
+        self.comm = resolve_transport(
+            transport, partition.num_parts, bytes_per_scalar=BYTES
+        )
         self.cluster = cluster
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
         root = np.random.default_rng(seed)

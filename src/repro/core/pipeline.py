@@ -78,9 +78,11 @@ class PipelinedTrainer(DistributedTrainer):
         cluster: Optional[ClusterSpec] = None,
         optimizer: Optional[Optimizer] = None,
         aggregation: str = "mean",
+        transport=None,
     ) -> None:
         super().__init__(
-            graph, partition, model, sampler, lr, seed, cluster, optimizer, aggregation
+            graph, partition, model, sampler, lr, seed, cluster, optimizer,
+            aggregation, transport,
         )
         # _stale[layer][rank]: that rank's input features to `layer` as
         # of the previous epoch (None until the warm-up epoch fills it).

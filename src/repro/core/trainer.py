@@ -32,7 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..dist.comm import SimulatedCommunicator
+from ..dist.transport import Transport, resolve_transport
 from ..dist.cost_model import (
     SECONDS_PER_SAMPLER_EDGE,
     ClusterSpec,
@@ -49,7 +49,7 @@ from ..tensor import Tensor, concat_rows, dropout as dropout_op, gather_rows, no
 from .bns import PartitionRuntime, RankData
 from .sampler import BoundarySampler, FullBoundarySampler, plan_sampling_ops
 
-__all__ = ["TrainHistory", "DistributedTrainer"]
+__all__ = ["TrainHistory", "DistributedTrainer", "BNSTrainer"]
 
 BYTES = 4  # fp32 wire size for metering
 
@@ -98,6 +98,13 @@ class DistributedTrainer:
         Optional :class:`ClusterSpec`; when given, every epoch also
         records a modelled :class:`EpochBreakdown` built from the
         *metered* traffic of that epoch.
+    transport:
+        Optional :class:`~repro.dist.transport.Transport` to meter
+        through (any implementation conforms; the default is a fresh
+        :class:`~repro.dist.comm.SimulatedCommunicator`).  The trainer
+        runs every rank in-process either way — to actually execute
+        ranks behind a data-moving transport use
+        :class:`~repro.dist.executor.ProcessRankExecutor`.
     """
 
     def __init__(
@@ -111,12 +118,15 @@ class DistributedTrainer:
         cluster: Optional[ClusterSpec] = None,
         optimizer: Optional[Optimizer] = None,
         aggregation: str = "mean",
+        transport: Optional[Transport] = None,
     ) -> None:
         self.graph = graph
         self.runtime = PartitionRuntime(graph, partition, aggregation=aggregation)
         self.model = model
         self.sampler = sampler or FullBoundarySampler()
-        self.comm = SimulatedCommunicator(partition.num_parts, bytes_per_scalar=BYTES)
+        self.comm = resolve_transport(
+            transport, partition.num_parts, bytes_per_scalar=BYTES
+        )
         self.cluster = cluster
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
         # Independent sampling stream per rank (Algorithm 1 samples
@@ -314,3 +324,7 @@ class DistributedTrainer:
             elif verbose:
                 print(f"epoch {epoch:4d}  loss {loss:.4f}")
         return self.history
+
+
+#: The paper's name for the synchronous boundary-sampled trainer.
+BNSTrainer = DistributedTrainer

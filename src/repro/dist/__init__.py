@@ -1,10 +1,21 @@
-"""Distributed-execution substrate: metered communication and cost models.
+"""Distributed-execution substrate: transports, metering, cost models.
 
-The paper evaluates BNS-GCN on real clusters; this package provides the
-laptop-scale stand-ins used across the repo:
+The paper evaluates BNS-GCN on real clusters; this package provides
+both the laptop-scale stand-ins used across the repo and the real
+multi-rank execution path:
 
-* :mod:`repro.dist.comm` — :class:`SimulatedCommunicator`, the byte
-  metering layer behind every trainer (Eq. 3 made measurable);
+* :mod:`repro.dist.transport` — the :class:`Transport` interface and
+  its byte-metering core (:class:`ByteMeter`, Eq. 3 made measurable),
+  plus the two data-moving implementations:
+  :class:`LocalTransport` (threads + queues) and
+  :class:`MultiprocessTransport` (processes + pipes, real ring/tree
+  AllReduce);
+* :mod:`repro.dist.comm` — :class:`SimulatedCommunicator`, the
+  metering-only transport behind the in-process trainers;
+* :mod:`repro.dist.executor` — :class:`ProcessRankExecutor`, which
+  ships each rank's shard to a worker and runs BNS training with real
+  boundary feature/gradient exchange (imported lazily: it pulls in the
+  trainer stack);
 * :mod:`repro.dist.cost_model` — device/cluster specs, the per-epoch
   time model (compute / boundary communication / AllReduce / sampling)
   and the analytic system models for BNS, ROC and CAGNET used by the
@@ -29,6 +40,14 @@ from .cost_model import (
     roc_epoch_model,
 )
 from .systems import Workload, build_workload
+from .transport import (
+    ByteMeter,
+    LocalTransport,
+    MultiprocessTransport,
+    Transport,
+    TransportError,
+    ring_allreduce_scalars,
+)
 
 __all__ = [
     "SimulatedCommunicator",
@@ -45,4 +64,26 @@ __all__ = [
     "roc_epoch_model",
     "Workload",
     "build_workload",
+    "ByteMeter",
+    "LocalTransport",
+    "MultiprocessTransport",
+    "Transport",
+    "TransportError",
+    "ring_allreduce_scalars",
+    "ProcessRankExecutor",
+    "DistTrainResult",
 ]
+
+_LAZY = ("ProcessRankExecutor", "DistTrainResult")
+
+
+def __getattr__(name):
+    # The executor sits on top of the trainer stack; importing it here
+    # eagerly would close an import cycle (executor -> core.trainer ->
+    # dist).  PEP 562 keeps `from repro.dist import ProcessRankExecutor`
+    # working without paying that import at package init.
+    if name in _LAZY:
+        from . import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

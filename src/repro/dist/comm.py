@@ -15,18 +15,25 @@ cost model turns into per-rank communication time.  The AllReduce is a
 collective: its bytes are metered under its tag (ring-allreduce wire
 volume) but kept out of ``pairwise`` so the cost model can price it
 separately against the model size.
+
+Since the transport refactor this class is one of three interchangeable
+:class:`~repro.dist.transport.Transport` implementations — the one
+whose "wire" is shared process memory.  Its metering plane *is* the
+shared :class:`~repro.dist.transport.ByteMeter`, so its ledgers are
+byte-for-byte identical to what :class:`~repro.dist.transport.LocalTransport`
+and :class:`~repro.dist.transport.MultiprocessTransport` record when the
+same traffic really moves (the transport conformance suite asserts
+this).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
-import numpy as np
+from .transport import Transport
 
 __all__ = ["SimulatedCommunicator"]
 
 
-class SimulatedCommunicator:
+class SimulatedCommunicator(Transport):
     """Byte-metering stand-in for a NCCL/Gloo communicator.
 
     Parameters
@@ -35,64 +42,19 @@ class SimulatedCommunicator:
         Number of simulated ranks.
     bytes_per_scalar:
         Wire size of one scalar (4 = fp32/int32, the paper's setting).
+
+    The entire behaviour — ``send`` / ``broadcast`` / ``allreduce``
+    over scalar counts, ``reset``, ``total_bytes``, ``pairwise`` — is
+    inherited from :class:`~repro.dist.transport.Transport`; the
+    counters are initialised exactly once by the shared meter (the
+    historical implementation assigned them in ``__init__`` and then
+    immediately reassigned them via ``reset()``).
     """
 
+    name = "simulated"
+
     def __init__(self, num_parts: int, bytes_per_scalar: int = 4) -> None:
-        if num_parts < 1:
-            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
-        self.num_parts = num_parts
-        self.bytes_per_scalar = bytes_per_scalar
-        self.pairwise = np.zeros((num_parts, num_parts), dtype=np.int64)
-        self._by_tag: Dict[str, int] = {}
-        self.reset()
-
-    # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Zero all counters (called at the top of every epoch)."""
-        self.pairwise = np.zeros((self.num_parts, self.num_parts), dtype=np.int64)
-        self._by_tag = {}
-
-    def send(self, src: int, dst: int, num_scalars: int, tag: str) -> int:
-        """Meter a point-to-point transfer of ``num_scalars`` scalars."""
-        if src == dst or num_scalars <= 0:
-            return 0
-        nbytes = int(num_scalars) * self.bytes_per_scalar
-        self.pairwise[src, dst] += nbytes
-        self._by_tag[tag] = self._by_tag.get(tag, 0) + nbytes
-        return nbytes
-
-    def broadcast(self, src: int, num_scalars: int, tag: str) -> int:
-        """Meter ``src`` sending ``num_scalars`` scalars to every other rank."""
-        total = 0
-        for dst in range(self.num_parts):
-            if dst != src:
-                total += self.send(src, dst, num_scalars, tag)
-        return total
-
-    def allreduce(self, num_scalars: int, tag: str) -> int:
-        """Meter a ring AllReduce over ``num_scalars`` scalars.
-
-        Ring wire volume: each of the ``m`` ranks sends
-        ``2 (m-1)/m · n`` scalars to its ring successor.  The traffic
-        lands in ``pairwise`` like any other transfer; trainers price
-        the epoch from a pre-AllReduce snapshot so the collective is
-        costed from the model size instead of as point-to-point bytes.
-        """
-        m = self.num_parts
-        if m < 2 or num_scalars <= 0:
-            return 0
-        per_rank = -(-2 * (m - 1) * int(num_scalars) // m)  # ceil
-        total = 0
-        for src in range(m):
-            total += self.send(src, (src + 1) % m, per_rank, tag)
-        return total
-
-    # ------------------------------------------------------------------
-    def total_bytes(self, tag: Optional[str] = None) -> int:
-        """Bytes metered under ``tag``, or across all tags when omitted."""
-        if tag is not None:
-            return self._by_tag.get(tag, 0)
-        return sum(self._by_tag.values())
+        super().__init__(num_parts, bytes_per_scalar)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,673 @@
+"""Transport abstraction: one metering model, three wire implementations.
+
+Every trainer in this repo accounts communication through the same
+byte-metering model (Eq. 3 made measurable): point-to-point transfers
+land in an ``(m, m)`` ``pairwise`` matrix and a per-tag byte ledger,
+and the gradient AllReduce is priced with the ring wire-volume formula
+``ceil(2 (m-1) n / m)`` scalars per rank.  This module separates that
+*model* from the *wire*:
+
+* :class:`ByteMeter` — the metering core, shared verbatim by every
+  transport so per-tag totals and pairwise matrices are byte-for-byte
+  identical no matter how the data actually moves;
+* :class:`Transport` — the interface.  The metering plane
+  (:meth:`~Transport.send` / :meth:`~Transport.broadcast` /
+  :meth:`~Transport.allreduce` with scalar *counts*) is what the
+  in-process trainers consume; the data plane
+  (:meth:`~Transport.launch` + per-rank :class:`Endpoint` objects with
+  payload-carrying ``send``/``recv``/``allreduce``) is what
+  :class:`~repro.dist.executor.ProcessRankExecutor` consumes;
+* :class:`LocalTransport` — ranks as threads, queues as wires.  Fast,
+  deterministic, no serialisation: the reference data-moving
+  implementation for tests;
+* :class:`MultiprocessTransport` — ranks as OS processes, pipes as
+  wires.  Payloads are pickled through the pipe (including the initial
+  per-rank task shipment), so a rank's working set really does leave
+  the parent process, like it would leave the machine in a cluster run.
+
+The in-process :class:`~repro.dist.comm.SimulatedCommunicator` is the
+third implementation: it subclasses :class:`Transport` and implements
+only the metering plane (its "wire" is shared process memory, so
+nothing needs to travel).
+
+Metering is canonical, not observational: a transport meters the
+*model's* wire volume (scalar counts × ``bytes_per_scalar``, ring
+formula for collectives) rather than the bytes its implementation
+happens to push — pickle framing, pipe overhead and the choice of
+ring- vs tree-AllReduce never leak into the measurements.  That is
+what makes cost-model numbers comparable across simulated and real
+runs, and it is asserted by the transport conformance suite.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ByteMeter",
+    "Endpoint",
+    "LocalTransport",
+    "MultiprocessTransport",
+    "Transport",
+    "TransportError",
+    "resolve_transport",
+    "ring_allreduce_scalars",
+]
+
+
+def resolve_transport(transport, num_parts: int, bytes_per_scalar: int = 4):
+    """Normalise a trainer/executor ``transport=`` argument.
+
+    ``None`` yields a fresh metering-only
+    :class:`~repro.dist.comm.SimulatedCommunicator`; the strings
+    ``"local"`` / ``"multiprocess"`` build the matching data-moving
+    transport; an existing :class:`Transport` is validated against the
+    partition's rank count and returned as-is.
+    """
+    if transport is None or transport == "simulated":
+        from .comm import SimulatedCommunicator
+
+        return SimulatedCommunicator(num_parts, bytes_per_scalar)
+    if transport == "local":
+        return LocalTransport(num_parts, bytes_per_scalar)
+    if transport == "multiprocess":
+        return MultiprocessTransport(num_parts, bytes_per_scalar)
+    if not isinstance(transport, Transport):
+        raise TypeError(f"unknown transport {transport!r}")
+    if transport.num_parts != num_parts:
+        raise ValueError(
+            f"transport has {transport.num_parts} ranks, "
+            f"partition has {num_parts}"
+        )
+    return transport
+
+
+class TransportError(RuntimeError):
+    """A data-plane failure: timeout, tag mismatch, or a dead peer."""
+
+
+def ring_allreduce_scalars(num_parts: int, num_scalars: int) -> int:
+    """Per-rank scalars sent by a ring AllReduce of ``num_scalars``.
+
+    Each of the ``m`` ranks sends ``ceil(2 (m-1) n / m)`` scalars to
+    its ring successor (reduce-scatter + allgather).  Degenerate cases
+    (one rank, nothing to reduce) send nothing.
+    """
+    if num_parts < 2 or num_scalars <= 0:
+        return 0
+    return -(-2 * (num_parts - 1) * int(num_scalars) // num_parts)
+
+
+class ByteMeter:
+    """Pairwise + per-tag byte ledger shared by every transport.
+
+    The recording rules are the contract the conformance suite pins
+    down: self-sends and empty sends meter zero, point-to-point bytes
+    land in ``pairwise[src, dst]``, and the AllReduce meters the ring
+    formula from each rank to its ring successor regardless of the
+    algorithm that actually moves the data.
+    """
+
+    def __init__(self, num_parts: int, bytes_per_scalar: int = 4) -> None:
+        if num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+        self.num_parts = num_parts
+        self.bytes_per_scalar = bytes_per_scalar
+        self.pairwise: np.ndarray = np.zeros((num_parts, num_parts), dtype=np.int64)
+        self.by_tag: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero all counters (called at the top of every epoch)."""
+        self.pairwise[:] = 0
+        self.by_tag = {}
+
+    def record_send(self, src: int, dst: int, num_scalars: int, tag: str) -> int:
+        """Meter a point-to-point transfer of ``num_scalars`` scalars."""
+        if src == dst or num_scalars <= 0:
+            return 0
+        nbytes = int(num_scalars) * self.bytes_per_scalar
+        self.pairwise[src, dst] += nbytes
+        self.by_tag[tag] = self.by_tag.get(tag, 0) + nbytes
+        return nbytes
+
+    def record_broadcast(self, src: int, num_scalars: int, tag: str) -> int:
+        """Meter ``src`` sending ``num_scalars`` scalars to every other rank."""
+        total = 0
+        for dst in range(self.num_parts):
+            if dst != src:
+                total += self.record_send(src, dst, num_scalars, tag)
+        return total
+
+    def record_allreduce_rank(self, src: int, num_scalars: int, tag: str) -> int:
+        """Meter one rank's share of a ring AllReduce (to its successor)."""
+        per_rank = ring_allreduce_scalars(self.num_parts, num_scalars)
+        return self.record_send(src, (src + 1) % self.num_parts, per_rank, tag)
+
+    def record_allreduce(self, num_scalars: int, tag: str) -> int:
+        """Meter a full ring AllReduce: every rank's share at once."""
+        total = 0
+        for src in range(self.num_parts):
+            total += self.record_allreduce_rank(src, num_scalars, tag)
+        return total
+
+    # ------------------------------------------------------------------
+    def total_bytes(self, tag: Optional[str] = None) -> int:
+        """Bytes metered under ``tag``, or across all tags when omitted."""
+        if tag is not None:
+            return self.by_tag.get(tag, 0)
+        return sum(self.by_tag.values())
+
+    def merge(self, other: "ByteMeter") -> None:
+        """Fold another rank's ledger into this one."""
+        if other.num_parts != self.num_parts:
+            raise ValueError("cannot merge meters with different num_parts")
+        self.pairwise += other.pairwise
+        for tag, nbytes in other.by_tag.items():
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + nbytes
+
+    def snapshot(self) -> Tuple[np.ndarray, Dict[str, int]]:
+        """(pairwise copy, by-tag copy) — one epoch's record."""
+        return self.pairwise.copy(), dict(self.by_tag)
+
+
+class Transport:
+    """Interface shared by the simulated, thread and process transports.
+
+    The *metering plane* (this class) mirrors the historical
+    ``SimulatedCommunicator`` API — ``send`` / ``broadcast`` /
+    ``allreduce`` take scalar **counts** and only touch the meter — so
+    any transport can be handed to the in-process trainers.  Data-moving
+    implementations additionally provide :meth:`launch`, which runs one
+    worker per rank against payload-carrying :class:`Endpoint` objects
+    and folds the per-rank meters back into :attr:`meter`.
+    """
+
+    name = "abstract"
+
+    def __init__(self, num_parts: int, bytes_per_scalar: int = 4) -> None:
+        self.meter = ByteMeter(num_parts, bytes_per_scalar)
+
+    # -- metering plane (SimulatedCommunicator-compatible) -------------
+    @property
+    def num_parts(self) -> int:
+        return self.meter.num_parts
+
+    @property
+    def bytes_per_scalar(self) -> int:
+        return self.meter.bytes_per_scalar
+
+    @property
+    def pairwise(self) -> np.ndarray:
+        return self.meter.pairwise
+
+    @property
+    def _by_tag(self) -> Dict[str, int]:  # backwards-compatible alias
+        return self.meter.by_tag
+
+    def reset(self) -> None:
+        self.meter.reset()
+
+    def send(self, src: int, dst: int, num_scalars: int, tag: str) -> int:
+        return self.meter.record_send(src, dst, num_scalars, tag)
+
+    def broadcast(self, src: int, num_scalars: int, tag: str) -> int:
+        return self.meter.record_broadcast(src, num_scalars, tag)
+
+    def allreduce(self, num_scalars: int, tag: str) -> int:
+        return self.meter.record_allreduce(num_scalars, tag)
+
+    def total_bytes(self, tag: Optional[str] = None) -> int:
+        return self.meter.total_bytes(tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(m={self.num_parts}, "
+            f"total={self.total_bytes()}B)"
+        )
+
+    # -- data plane ----------------------------------------------------
+    def launch(
+        self,
+        worker: Callable,
+        payloads: Optional[Sequence] = None,
+        timeout: Optional[float] = None,
+    ) -> List:
+        """Run ``worker(endpoint, payload)`` once per rank; return results.
+
+        Only data-moving transports implement this; the simulated
+        communicator's ranks live inside the trainers' own loop.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no data plane; use LocalTransport "
+            "or MultiprocessTransport to actually execute ranks"
+        )
+
+
+class Endpoint:
+    """One rank's handle on a data-moving transport.
+
+    Subclasses supply the raw channel primitives ``_put`` / ``_get``;
+    everything else — metering, tag checking, deadlock-free pairwise
+    exchange, the ring/tree AllReduce — is shared, so the local and
+    multiprocess transports are behaviourally identical by
+    construction.
+    """
+
+    def __init__(self, rank: int, num_parts: int, bytes_per_scalar: int,
+                 recv_timeout: float) -> None:
+        self.rank = rank
+        self.num_parts = num_parts
+        self.bytes_per_scalar = bytes_per_scalar
+        self.recv_timeout = recv_timeout
+        self.meter = ByteMeter(num_parts, bytes_per_scalar)
+
+    # -- raw channel (implemented by subclasses) -----------------------
+    def _put(self, dst: int, message) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _get(self, src: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- point-to-point ------------------------------------------------
+    def send(self, dst: int, payload: np.ndarray, tag: str) -> int:
+        """Send ``payload`` to ``dst``; meters ``payload.size`` scalars.
+
+        Empty payloads still travel (receivers stay in lockstep) but
+        meter zero bytes, matching the simulated semantics.
+        """
+        if dst == self.rank:
+            raise TransportError(f"rank {self.rank} cannot send to itself")
+        payload = np.asarray(payload)
+        nbytes = self.meter.record_send(self.rank, dst, payload.size, tag)
+        self._put(dst, (tag, payload))
+        return nbytes
+
+    def isend(self, dst: int, payload: np.ndarray, tag: str) -> threading.Thread:
+        """Non-blocking :meth:`send`: meters now, pushes from a thread.
+
+        Bounded channels (OS pipes) block the writer when full; pushing
+        from a thread lets a rank post all its outbound traffic before
+        draining inbound, which makes the exchange patterns below
+        deadlock-free regardless of payload size.
+        """
+        if dst == self.rank:
+            raise TransportError(f"rank {self.rank} cannot send to itself")
+        payload = np.asarray(payload)
+        self.meter.record_send(self.rank, dst, payload.size, tag)
+        thread = threading.Thread(
+            target=self._put, args=(dst, (tag, payload)), daemon=True
+        )
+        thread.start()
+        return thread
+
+    def recv(self, src: int, tag: str) -> np.ndarray:
+        """Receive the next message from ``src``; the tag must match."""
+        got_tag, payload = self._get(src)
+        if got_tag != tag:
+            raise TransportError(
+                f"rank {self.rank} expected tag {tag!r} from {src}, got {got_tag!r}"
+            )
+        return payload
+
+    def _isend_raw(self, dst: int, payload: np.ndarray, tag: str) -> threading.Thread:
+        """Unmetered threaded push — for collective-internal traffic
+        whose wire volume was already metered canonically."""
+        thread = threading.Thread(
+            target=self._put, args=(dst, (tag, payload)), daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _send_raw(self, dst: int, payload: np.ndarray, tag: str) -> None:
+        self._put(dst, (tag, payload))
+
+    def exchange(
+        self,
+        outgoing: Dict[int, np.ndarray],
+        expect: Iterable[int],
+        tag: str,
+    ) -> Dict[int, np.ndarray]:
+        """Send to each key of ``outgoing``; receive from each of ``expect``.
+
+        All sends are posted first (threaded), then inbound messages are
+        drained, so the pattern cannot deadlock however large the
+        payloads are.
+        """
+        pending = [
+            self.isend(dst, payload, tag) for dst, payload in outgoing.items()
+        ]
+        received = {src: self.recv(src, tag) for src in expect}
+        for thread in pending:
+            thread.join(self.recv_timeout)
+        return received
+
+    # -- collectives ---------------------------------------------------
+    def allreduce(
+        self, array: np.ndarray, tag: str, algorithm: str = "ring"
+    ) -> np.ndarray:
+        """Sum ``array`` across all ranks; every rank gets the result.
+
+        The data moves by a real ring (reduce-scatter + allgather) or
+        binomial tree; the metering is always the canonical ring
+        formula (:func:`ring_allreduce_scalars`), keeping the ledger
+        identical across algorithms and transports.  The reduced buffer
+        is bitwise identical on every rank — each chunk is finalised by
+        exactly one rank and copies of it are distributed — which is
+        what keeps model replicas in lockstep.
+        """
+        arr = np.asarray(array, dtype=np.float64)
+        shape = arr.shape
+        flat = arr.ravel().copy()
+        self.meter.record_allreduce_rank(self.rank, flat.size, tag)
+        if self.num_parts == 1 or flat.size == 0:
+            return flat.reshape(shape)
+        if algorithm == "ring":
+            out = self._ring_allreduce(flat, tag)
+        elif algorithm == "tree":
+            out = self._tree_allreduce(flat, tag)
+        else:
+            raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+        return out.reshape(shape)
+
+    def _chunk_slices(self, n: int) -> List[slice]:
+        bounds = np.linspace(0, n, self.num_parts + 1).astype(np.int64)
+        return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    def _ring_allreduce(self, buf: np.ndarray, tag: str) -> np.ndarray:
+        m, rank = self.num_parts, self.rank
+        succ, pred = (rank + 1) % m, (rank - 1) % m
+        slices = self._chunk_slices(buf.size)
+        # Reduce-scatter: after m-1 steps rank owns chunk (rank+1) % m.
+        for step in range(m - 1):
+            send_idx = (rank - step) % m
+            recv_idx = (rank - step - 1) % m
+            thread = self._isend_raw(succ, buf[slices[send_idx]].copy(), tag)
+            buf[slices[recv_idx]] += self.recv(pred, tag)
+            thread.join(self.recv_timeout)
+        # Allgather: circulate the finalised chunks.
+        for step in range(m - 1):
+            send_idx = (rank + 1 - step) % m
+            recv_idx = (rank - step) % m
+            thread = self._isend_raw(succ, buf[slices[send_idx]].copy(), tag)
+            buf[slices[recv_idx]] = self.recv(pred, tag)
+            thread.join(self.recv_timeout)
+        return buf
+
+    def _tree_allreduce(self, buf: np.ndarray, tag: str) -> np.ndarray:
+        m, rank = self.num_parts, self.rank
+        # Reduce up a binomial tree rooted at 0.
+        span, sent_span = 1, None
+        while span < m:
+            r = rank % (2 * span)
+            if r == span:
+                self._send_raw(rank - span, buf, tag)
+                sent_span = span
+                break
+            if r == 0 and rank + span < m:
+                buf = buf + self.recv(rank + span, tag)
+            span *= 2
+        # Broadcast the root's buffer back down the same tree.
+        if sent_span is not None:
+            buf = self.recv(rank - sent_span, tag)
+            span = sent_span
+        down = span // 2
+        while down >= 1:
+            if rank % (2 * down) == 0 and rank + down < m:
+                self._send_raw(rank + down, buf, tag)
+            down //= 2
+        return buf
+
+
+# ----------------------------------------------------------------------
+# Threads + queues
+# ----------------------------------------------------------------------
+class _QueueEndpoint(Endpoint):
+    def __init__(self, rank, num_parts, bytes_per_scalar, recv_timeout, queues):
+        super().__init__(rank, num_parts, bytes_per_scalar, recv_timeout)
+        self._queues = queues
+
+    def _put(self, dst: int, message) -> None:
+        self._queues[(self.rank, dst)].put(message)
+
+    def _get(self, src: int):
+        try:
+            return self._queues[(src, self.rank)].get(timeout=self.recv_timeout)
+        except queue.Empty:
+            raise TransportError(
+                f"rank {self.rank} timed out waiting for rank {src} "
+                f"({self.recv_timeout}s)"
+            ) from None
+
+
+class LocalTransport(Transport):
+    """Ranks as daemon threads, unbounded queues as wires.
+
+    No serialisation and no OS scheduling noise: the deterministic
+    reference for the data-moving path, and the fast engine behind the
+    conformance and equivalence tests.
+    """
+
+    name = "local"
+
+    def __init__(self, num_parts: int, bytes_per_scalar: int = 4,
+                 recv_timeout: float = 60.0) -> None:
+        super().__init__(num_parts, bytes_per_scalar)
+        self.recv_timeout = recv_timeout
+
+    def launch(self, worker, payloads=None, timeout=None):
+        m = self.num_parts
+        timeout = self.recv_timeout if timeout is None else timeout
+        payloads = list(payloads) if payloads is not None else [None] * m
+        if len(payloads) != m:
+            raise ValueError(f"expected {m} payloads, got {len(payloads)}")
+        queues = {
+            (i, j): queue.Queue() for i in range(m) for j in range(m) if i != j
+        }
+        endpoints = [
+            _QueueEndpoint(i, m, self.bytes_per_scalar, timeout, queues)
+            for i in range(m)
+        ]
+        results: List = [None] * m
+        failures: List[Tuple[int, BaseException, str]] = []
+        failed = threading.Event()
+
+        def run(rank: int) -> None:
+            try:
+                results[rank] = worker(endpoints[rank], payloads[rank])
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures.append((rank, exc, traceback.format_exc()))
+                failed.set()
+
+        threads = [
+            threading.Thread(target=run, args=(i,), daemon=True) for i in range(m)
+        ]
+        for t in threads:
+            t.start()
+        # One shared deadline for the whole launch; a crashed rank is
+        # reported immediately (the daemon threads of the surviving
+        # ranks are abandoned to their recv timeouts).
+        deadline = _now() + timeout
+        while not failed.is_set():
+            alive = [t for t in threads if t.is_alive()]
+            if not alive:
+                break
+            remaining = deadline - _now()
+            if remaining <= 0:
+                break
+            alive[0].join(min(0.05, remaining))
+        if failures:
+            rank, exc, tb = failures[0]
+            raise TransportError(f"rank {rank} failed:\n{tb}") from exc
+        if any(t.is_alive() for t in threads):
+            stuck = [i for i, t in enumerate(threads) if t.is_alive()]
+            raise TransportError(f"ranks {stuck} still running after {timeout}s")
+        for ep in endpoints:
+            self.meter.merge(ep.meter)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Processes + pipes
+# ----------------------------------------------------------------------
+class _PipeEndpoint(Endpoint):
+    def __init__(self, rank, num_parts, bytes_per_scalar, recv_timeout, conns):
+        super().__init__(rank, num_parts, bytes_per_scalar, recv_timeout)
+        self._conns = conns
+        self._send_locks = {dst: threading.Lock() for dst in conns}
+
+    def _put(self, dst: int, message) -> None:
+        with self._send_locks[dst]:
+            self._conns[dst].send(message)
+
+    def _get(self, src: int):
+        conn = self._conns[src]
+        try:
+            if not conn.poll(self.recv_timeout):
+                raise TransportError(
+                    f"rank {self.rank} timed out waiting for rank {src} "
+                    f"({self.recv_timeout}s)"
+                )
+            return conn.recv()
+        except (EOFError, OSError):
+            raise TransportError(
+                f"rank {self.rank} lost its connection to rank {src} "
+                "(peer died?)"
+            ) from None
+
+
+def _mp_rank_main(worker, rank, num_parts, bytes_per_scalar, recv_timeout,
+                  conns, parent_conn) -> None:
+    """Entry point of one worker process.
+
+    The payload arrives through the parent pipe (pickled — the rank's
+    working set genuinely leaves the parent), the result and the
+    rank's meter travel back the same way.
+    """
+    try:
+        endpoint = _PipeEndpoint(rank, num_parts, bytes_per_scalar,
+                                 recv_timeout, conns)
+        payload = parent_conn.recv()
+        result = worker(endpoint, payload)
+        parent_conn.send(("ok", result, endpoint.meter))
+    except BaseException:  # noqa: BLE001 - serialised back to the parent
+        try:
+            parent_conn.send(("err", traceback.format_exc(), None))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+
+
+class MultiprocessTransport(Transport):
+    """Ranks as OS processes, duplex pipes as wires.
+
+    A full mesh of :func:`multiprocessing.Pipe` connections carries
+    rank-to-rank traffic; a separate parent pipe per rank ships the
+    task payload in (pickled) and the result + byte ledger out.
+    ``launch`` enforces a deadline: a hung pipe kills the worker tree
+    and raises :class:`TransportError` instead of stalling the caller
+    — which is what lets CI run a smoke job against this transport
+    without risking a wedged runner.
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, num_parts: int, bytes_per_scalar: int = 4,
+                 recv_timeout: float = 60.0, start_method: Optional[str] = None) -> None:
+        super().__init__(num_parts, bytes_per_scalar)
+        self.recv_timeout = recv_timeout
+        self.start_method = start_method
+
+    def launch(self, worker, payloads=None, timeout=None):
+        import multiprocessing as mp
+
+        m = self.num_parts
+        timeout = self.recv_timeout * 2 if timeout is None else timeout
+        # The launch deadline also governs rank-to-rank receives (as it
+        # does on LocalTransport): a caller raising `timeout` must not
+        # be cut short by the transport's default recv window.
+        recv_timeout = max(self.recv_timeout, timeout)
+        payloads = list(payloads) if payloads is not None else [None] * m
+        if len(payloads) != m:
+            raise ValueError(f"expected {m} payloads, got {len(payloads)}")
+        ctx = mp.get_context(self.start_method)
+
+        mesh: Dict[int, Dict[int, object]] = {i: {} for i in range(m)}
+        for i in range(m):
+            for j in range(i + 1, m):
+                ci, cj = ctx.Pipe(duplex=True)
+                mesh[i][j] = ci
+                mesh[j][i] = cj
+        parent_conns, child_conns, procs = [], [], []
+        for rank in range(m):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            parent_conns.append(parent_end)
+            child_conns.append(child_end)
+            procs.append(ctx.Process(
+                target=_mp_rank_main,
+                args=(worker, rank, m, self.bytes_per_scalar,
+                      recv_timeout, mesh[rank], child_end),
+                daemon=True,
+            ))
+        try:
+            for proc in procs:
+                proc.start()
+            # The mesh and child-side result ends belong to the workers
+            # (fork duplicated them); closing the parent's copies lets a
+            # dead peer surface as EOF instead of a silent poll timeout.
+            for rank in range(m):
+                for conn in mesh[rank].values():
+                    conn.close()
+                child_conns[rank].close()
+            for rank in range(m):
+                parent_conns[rank].send(payloads[rank])
+
+            # Collect results as they arrive (not in rank order): a
+            # crashed rank is reported immediately with its traceback
+            # even while other ranks are still blocked on it.
+            deadline = _now() + timeout
+            results: List = [None] * m
+            pending = {parent_conns[rank]: rank for rank in range(m)}
+            while pending:
+                remaining = deadline - _now()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"ranks {sorted(pending.values())} produced no "
+                        f"result within {timeout}s (hung pipe?)"
+                    )
+                ready = mp.connection.wait(list(pending), timeout=remaining)
+                if not ready:
+                    raise TransportError(
+                        f"ranks {sorted(pending.values())} produced no "
+                        f"result within {timeout}s (hung pipe?)"
+                    )
+                for conn in ready:
+                    rank = pending.pop(conn)
+                    try:
+                        status, value, meter = conn.recv()
+                    except EOFError:
+                        raise TransportError(
+                            f"rank {rank} died without reporting a result"
+                        ) from None
+                    if status != "ok":
+                        raise TransportError(f"rank {rank} failed:\n{value}")
+                    results[rank] = value
+                    self.meter.merge(meter)
+            for proc in procs:
+                proc.join(self.recv_timeout)
+            return results
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(1.0)
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()

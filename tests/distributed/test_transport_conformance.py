@@ -1,0 +1,256 @@
+"""Transport conformance suite.
+
+One declarative scenario matrix — send/broadcast/allreduce sequences,
+the degenerate single-rank case, zero-scalar and self sends, mixed-tag
+epochs — runs against all three transports:
+
+* ``SimulatedCommunicator`` replays the metering plane directly (its
+  ranks share one process, nothing travels);
+* ``LocalTransport`` / ``MultiprocessTransport`` execute the same
+  scenario as *m* real workers moving real payloads (every received
+  array is checked against what the sender produced, every AllReduce
+  against the true sum).
+
+The assertion that makes the three interchangeable: identical
+``pairwise`` byte matrices and identical per-tag byte totals, compared
+with ``==`` — byte-for-byte, not approximately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import SimulatedCommunicator
+from repro.dist.transport import (
+    LocalTransport,
+    MultiprocessTransport,
+    TransportError,
+    ring_allreduce_scalars,
+)
+
+# ----------------------------------------------------------------------
+# Scenario matrix: (name, num_parts, ops)
+#   ("send", src, dst, n, tag)
+#   ("bcast", src, n, tag)
+#   ("allreduce", n, tag, algorithm)
+# ----------------------------------------------------------------------
+SCENARIOS = [
+    (
+        "p2p_basic", 3,
+        [
+            ("send", 0, 1, 10, "forward"),
+            ("send", 1, 0, 10, "backward"),
+            ("send", 2, 0, 3, "forward"),
+            ("send", 0, 2, 7, "misc"),
+        ],
+    ),
+    (
+        "zero_scalar_and_self_sends", 2,
+        [
+            ("send", 0, 1, 0, "forward"),
+            ("send", 1, 1, 5, "forward"),  # self-send meters nothing
+            ("send", 1, 0, 4, "forward"),
+            ("bcast", 0, 0, "sample_sync"),
+        ],
+    ),
+    (
+        "degenerate_m1", 1,
+        [
+            ("bcast", 0, 9, "sample_sync"),
+            ("allreduce", 11, "reduce", "ring"),
+            ("send", 0, 0, 5, "forward"),
+        ],
+    ),
+    (
+        "broadcasts", 4,
+        [
+            ("bcast", 0, 6, "sample_sync"),
+            ("bcast", 1, 0, "sample_sync"),
+            ("bcast", 2, 13, "sample_sync"),
+            ("bcast", 3, 1, "sample_sync"),
+        ],
+    ),
+    (
+        "allreduce_ring_uneven", 4,
+        [("allreduce", 7, "reduce", "ring"), ("allreduce", 1, "reduce", "ring")],
+    ),
+    (
+        "allreduce_tree", 3,
+        [("allreduce", 10, "reduce", "tree"), ("allreduce", 4, "r2", "tree")],
+    ),
+    (
+        "epoch_like", 4,
+        [
+            ("bcast", 0, 12, "sample_sync"),
+            ("bcast", 1, 8, "sample_sync"),
+            ("bcast", 2, 0, "sample_sync"),
+            ("bcast", 3, 5, "sample_sync"),
+            ("send", 1, 0, 96, "forward"),
+            ("send", 0, 1, 96, "backward"),
+            ("send", 2, 3, 40, "forward"),
+            ("send", 3, 2, 40, "backward"),
+            ("allreduce", 1234, "reduce", "ring"),
+        ],
+    ),
+]
+
+IDS = [name for name, _, _ in SCENARIOS]
+
+
+def _payload(src: int, op_index: int, n: int) -> np.ndarray:
+    """Deterministic payload so receivers can verify content."""
+    return (src * 1000.0 + op_index * 17.0) + np.arange(n, dtype=np.float64)
+
+
+def _replay_worker(ep, ops):
+    """Run one rank's side of the scenario with real payloads."""
+    m, rank = ep.num_parts, ep.rank
+    for k, op in enumerate(ops):
+        kind = op[0]
+        if kind == "send":
+            _, src, dst, n, tag = op
+            if src == dst:
+                continue  # simulated meters zero; nothing travels
+            if rank == src:
+                ep.send(dst, _payload(src, k, n), tag)
+            elif rank == dst:
+                got = ep.recv(src, tag)
+                np.testing.assert_array_equal(got, _payload(src, k, n))
+        elif kind == "bcast":
+            _, src, n, tag = op
+            if rank == src:
+                for dst in range(m):
+                    if dst != src:
+                        ep.send(dst, _payload(src, k, n), tag)
+            else:
+                got = ep.recv(src, tag)
+                np.testing.assert_array_equal(got, _payload(src, k, n))
+        elif kind == "allreduce":
+            _, n, tag, algorithm = op
+            out = ep.allreduce(_payload(rank, k, n), tag, algorithm=algorithm)
+            expected = np.sum([_payload(r, k, n) for r in range(m)], axis=0)
+            np.testing.assert_allclose(out, expected, atol=1e-9)
+        else:  # pragma: no cover - scenario typo guard
+            raise ValueError(f"unknown op {kind!r}")
+    return ep.meter.snapshot()
+
+
+def _simulated_ledger(m, ops):
+    comm = SimulatedCommunicator(m)
+    for op in ops:
+        kind = op[0]
+        if kind == "send":
+            _, src, dst, n, tag = op
+            comm.send(src, dst, n, tag)
+        elif kind == "bcast":
+            _, src, n, tag = op
+            comm.broadcast(src, n, tag)
+        elif kind == "allreduce":
+            _, n, tag, _algorithm = op
+            comm.allreduce(n, tag)
+    return comm.meter.snapshot()
+
+
+def _launched_ledger(transport, ops):
+    snapshots = transport.launch(
+        _replay_worker, [ops] * transport.num_parts, timeout=60.0
+    )
+    pairwise = np.zeros_like(snapshots[0][0])
+    by_tag = {}
+    for pw, tags in snapshots:
+        pairwise += pw
+        for tag, nbytes in tags.items():
+            by_tag[tag] = by_tag.get(tag, 0) + nbytes
+    return pairwise, by_tag
+
+
+def _make_transport(kind, m):
+    if kind == "local":
+        return LocalTransport(m, recv_timeout=30.0)
+    return MultiprocessTransport(m, recv_timeout=30.0)
+
+
+@pytest.mark.parametrize("kind", ["local", "multiprocess"])
+@pytest.mark.parametrize("name,m,ops", SCENARIOS, ids=IDS)
+class TestConformance:
+    def test_matches_simulated_byte_for_byte(self, kind, name, m, ops):
+        sim_pairwise, sim_tags = _simulated_ledger(m, ops)
+        pairwise, by_tag = _launched_ledger(_make_transport(kind, m), ops)
+        assert by_tag == sim_tags
+        assert (pairwise == sim_pairwise).all()
+
+
+@pytest.mark.parametrize("name,m,ops", SCENARIOS, ids=IDS)
+def test_transport_level_ledger_matches_merged_endpoints(name, m, ops):
+    """launch() folds per-rank meters into the transport-level ledger."""
+    transport = LocalTransport(m, recv_timeout=30.0)
+    _launched_ledger(transport, ops)
+    sim_pairwise, sim_tags = _simulated_ledger(m, ops)
+    assert transport.meter.by_tag == sim_tags
+    assert (transport.pairwise == sim_pairwise).all()
+
+
+class TestDataPlaneGuards:
+    def test_self_send_rejected_on_endpoints(self):
+        transport = LocalTransport(2, recv_timeout=5.0)
+
+        def worker(ep, _):
+            if ep.rank == 0:
+                with pytest.raises(TransportError):
+                    ep.send(0, np.zeros(3), "x")
+            return True
+
+        assert transport.launch(worker, timeout=15.0) == [True, True]
+
+    def test_recv_timeout_fails_fast(self):
+        transport = LocalTransport(2, recv_timeout=0.2)
+
+        def worker(ep, _):
+            if ep.rank == 0:
+                ep.recv(1, "never")  # rank 1 sends nothing
+            return True
+
+        with pytest.raises(TransportError):
+            transport.launch(worker, timeout=15.0)
+
+    def test_worker_exception_propagates(self):
+        transport = MultiprocessTransport(2, recv_timeout=10.0)
+
+        def worker(ep, _):
+            if ep.rank == 1:
+                raise ValueError("boom")
+            return True
+
+        with pytest.raises(TransportError, match="boom"):
+            transport.launch(worker, timeout=30.0)
+
+    def test_tag_mismatch_detected(self):
+        transport = LocalTransport(2, recv_timeout=5.0)
+
+        def worker(ep, _):
+            if ep.rank == 0:
+                ep.send(1, np.zeros(2), "a")
+            else:
+                ep.recv(0, "b")
+            return True
+
+        with pytest.raises(TransportError, match="expected tag"):
+            transport.launch(worker, timeout=15.0)
+
+    def test_allreduce_bitwise_identical_across_ranks(self):
+        transport = LocalTransport(3, recv_timeout=10.0)
+        rng = np.random.default_rng(0)
+        data = [rng.standard_normal(37) for _ in range(3)]
+
+        def worker(ep, contribution):
+            return ep.allreduce(contribution, "reduce")
+
+        results = transport.launch(worker, data, timeout=30.0)
+        assert (results[0] == results[1]).all()
+        assert (results[0] == results[2]).all()
+        np.testing.assert_allclose(results[0], np.sum(data, axis=0), atol=1e-12)
+
+    def test_simulated_has_no_data_plane(self):
+        with pytest.raises(NotImplementedError):
+            SimulatedCommunicator(2).launch(lambda ep, _: None)

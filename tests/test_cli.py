@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_dist_parser, build_parser, main
 
 
 class TestParser:
@@ -54,3 +54,36 @@ class TestEndToEnd:
 
     def test_cut_objective(self, capsys):
         assert main(SMALL + ["--partition-objective", "cut"]) == 0
+
+
+DIST_SMALL = [
+    "dist-train", "--scale", "0.05", "--n-partitions", "2",
+    "--n-epochs", "2", "--n-hidden", "8", "--dropout", "0.0", "--quiet",
+]
+
+
+class TestDistTrain:
+    def test_dist_parser_defaults(self):
+        args = build_dist_parser().parse_args([])
+        assert args.transport == "multiprocess"
+        assert args.allreduce == "ring"
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            build_dist_parser().parse_args(["--transport", "carrier-pigeon"])
+
+    def test_local_transport_end_to_end(self, capsys):
+        assert main(DIST_SMALL + ["--transport", "local"]) == 0
+        out = capsys.readouterr().out
+        assert "dist-train summary" in out
+        assert "bytes [reduce]" in out
+
+    def test_multiprocess_transport_end_to_end(self, capsys):
+        assert main(DIST_SMALL + ["--transport", "multiprocess",
+                                  "--sampling-rate", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "multiprocess" in out
+
+    def test_tree_allreduce(self, capsys):
+        assert main(DIST_SMALL + ["--transport", "local",
+                                  "--allreduce", "tree"]) == 0
