@@ -115,10 +115,93 @@ def time_spmm(runtime, p: float, mode: str, reps: int, d: int = 64):
     return stacked_s / reps, split_s / reps
 
 
+def time_spmm_dtypes(runtime, p: float, reps: int, d: int = 64) -> dict:
+    """fp32 vs fp64 split SpMM on the same operator — the ROADMAP's
+    "~2x throughput" claim, measured.
+
+    The fp32 operator is the cast of the fp64 one (identical draws and
+    structure), so the timing difference is purely the scalar width.
+    """
+    rank = max(runtime.ranks, key=lambda r: r.n_boundary)
+    plan = BoundaryNodeSampler(p).plan(rank, np.random.default_rng(21))
+    op64 = plan.prop.astype(np.float64)
+    op32 = plan.prop.astype(np.float32)
+    h64 = np.random.default_rng(22).normal(size=(plan.prop.shape[1], d))
+    h32 = h64.astype(np.float32)
+    op64.matmul(h64), op32.matmul(h32)  # warm caches outside the timer
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        op64.matmul(h64)
+    fp64_s = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        out32 = op32.matmul(h32)
+    fp32_s = (time.perf_counter() - t0) / reps
+    assert out32.dtype == np.float32, "fp32 SpMM upcast on the way through"
+    err = float(np.abs(op64.matmul(h64) - op32.matmul(h32)).max())
+    return {
+        "d": d,
+        "reps": reps,
+        "fp64_ms": round(fp64_s * 1e3, 4),
+        "fp32_ms": round(fp32_s * 1e3, 4),
+        "speedup": round(fp64_s / fp32_s, 2) if fp32_s > 0 else float("inf"),
+        "max_abs_error": err,
+    }
+
+
+def dtype_wire_ledger(parts: int, seed: int) -> dict:
+    """Per-tag metered bytes of one seeded epoch at fp64 vs fp32.
+
+    The honesty claim in one measurement: identical draws, identical
+    scalar counts, and every tag's fp32 bytes exactly half of fp64
+    (scalar width 4 vs 8).
+    """
+    from repro.core import DistributedTrainer
+    from repro.graph.generators import SyntheticSpec, generate_graph
+    from repro.nn.models import GraphSAGEModel
+
+    spec = SyntheticSpec(
+        n=2000, num_communities=8, avg_degree=10.0, feature_dim=16,
+        name="dtype-ledger",
+    )
+    graph = generate_graph(spec, seed=seed)
+    part = partition_graph(graph, parts, method="random", seed=seed)
+
+    ledgers = {}
+    for dtype in ("float64", "float32"):
+        model = GraphSAGEModel(
+            graph.feature_dim, 32, graph.num_classes, 2, 0.0,
+            np.random.default_rng(3), dtype=dtype,
+        )
+        trainer = DistributedTrainer(
+            graph, part, model, BoundaryNodeSampler(0.1), seed=seed
+        )
+        trainer.train_epoch()
+        ledgers[dtype] = dict(trainer.comm.meter.by_tag)
+    halved = all(
+        ledgers["float64"][tag] == 2 * ledgers["float32"][tag]
+        for tag in ledgers["float64"]
+    )
+    assert halved, f"fp32 ledger is not half of fp64: {ledgers}"
+    return {
+        "parts": parts,
+        "by_tag_fp64": ledgers["float64"],
+        "by_tag_fp32": ledgers["float32"],
+        "fp32_exactly_half": halved,
+    }
+
+
 def _allreduce_bench_worker(ep, task):
     """One rank's timed AllReduce loop (module-level for process spawn)."""
     scalars, reps, algorithm = task
-    data = np.full(scalars, float(ep.rank + 1))
+    # Payload width must match what the transport meters (the data
+    # plane enforces metered == shipped).
+    from repro.tensor import float_dtype_for_nbytes
+
+    data = np.full(
+        scalars, float(ep.rank + 1),
+        dtype=float_dtype_for_nbytes(ep.bytes_per_scalar),
+    )
     out = ep.allreduce(data, "bench", algorithm=algorithm)  # warm-up
     t0 = time.perf_counter()
     for _ in range(reps):
@@ -231,6 +314,22 @@ def main() -> int:
         "after_plans_per_sec": results["bns_renorm"]["split_plans_per_sec"],
         "speedup": results["bns_renorm"]["plan_speedup"],
     }
+
+    results["spmm_dtype"] = time_spmm_dtypes(
+        runtime, args.p, reps=10 if args.smoke else 30
+    )
+    print(
+        f"SpMM dtype: fp64 {results['spmm_dtype']['fp64_ms']:.3f} ms  "
+        f"fp32 {results['spmm_dtype']['fp32_ms']:.3f} ms  "
+        f"speedup {results['spmm_dtype']['speedup']:.2f}x"
+    )
+    results["dtype_wire_ledger"] = dtype_wire_ledger(
+        parts=min(args.parts, 4), seed=args.seed
+    )
+    print(
+        "wire ledger: fp32 bytes exactly half of fp64 per tag -> "
+        f"{results['dtype_wire_ledger']['fp32_exactly_half']}"
+    )
 
     results["transport_allreduce"] = time_transports(
         parts=min(args.parts, 4),

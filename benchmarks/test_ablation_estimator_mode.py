@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.bench import (
     BENCH_CONFIGS,
+    bench_transport,
     format_table,
     get_graph,
     get_partition,
@@ -32,7 +33,7 @@ def run_mode(p, mode):
     model = make_model(graph, cfg, seed=7)
     trainer = DistributedTrainer(
         graph, part, model, BoundaryNodeSampler(p, mode=mode),
-        lr=cfg.lr, seed=0,
+        lr=cfg.lr, seed=0, transport=bench_transport(NUM_PARTS),
     )
     h = trainer.train(cfg.epochs // 2, eval_every=cfg.eval_every)
     return h.test_at_best_val()

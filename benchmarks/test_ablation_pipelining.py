@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.bench import (
     BENCH_CONFIGS,
+    bench_transport,
     format_table,
     get_graph,
     get_partition,
@@ -54,7 +55,8 @@ def run_variant(trainer_cls, p):
     model = make_model(graph, cfg, seed=7)
     sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
     trainer = trainer_cls(
-        graph, part, model, sampler, lr=cfg.lr, seed=0, cluster=RTX2080TI_CLUSTER
+        graph, part, model, sampler, lr=cfg.lr, seed=0,
+        cluster=RTX2080TI_CLUSTER, transport=bench_transport(NUM_PARTS),
     )
     h = trainer.train(cfg.epochs // 2, eval_every=cfg.eval_every)
     epoch = float(np.mean([b.total for b in h.modeled]))

@@ -7,7 +7,14 @@ makes compute a bigger share of the epoch.
 
 import numpy as np
 
-from repro.bench import BENCH_CONFIGS, format_table, get_graph, get_partition, save_result
+from repro.bench import (
+    BENCH_CONFIGS,
+    bench_transport,
+    format_table,
+    get_graph,
+    get_partition,
+    save_result,
+)
 from repro.core import DistributedGATTrainer
 from repro.dist import RTX2080TI_CLUSTER
 from repro.nn import GATModel
@@ -26,7 +33,8 @@ def epoch_seconds(name, p):
         rng=np.random.default_rng(7), num_heads=2,
     )
     trainer = DistributedGATTrainer(
-        graph, part, model, p=p, cluster=RTX2080TI_CLUSTER, seed=0
+        graph, part, model, p=p, cluster=RTX2080TI_CLUSTER, seed=0,
+        transport=bench_transport(NUM_PARTS),
     )
     trainer.train(EPOCHS)
     return float(np.mean([b.total for b in trainer.history.modeled]))

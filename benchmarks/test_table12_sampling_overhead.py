@@ -11,6 +11,7 @@ import numpy as np
 from repro.baselines import ClusterGCNTrainer, GraphSaintTrainer
 from repro.bench import (
     BENCH_CONFIGS,
+    bench_transport,
     format_table,
     get_graph,
     get_partition,
@@ -67,7 +68,8 @@ def bns_overhead(p, k):
     model = make_model(graph, cfg, seed=7)
     sampler = FullBoundarySampler() if p == 1.0 else BoundaryNodeSampler(p)
     t = DistributedTrainer(
-        graph, part, model, sampler, lr=cfg.lr, seed=0, cluster=RTX2080TI_CLUSTER
+        graph, part, model, sampler, lr=cfg.lr, seed=0,
+        cluster=RTX2080TI_CLUSTER, transport=bench_transport(k),
     )
     t.train(EPOCHS)
     fracs = [b.sampling / b.total for b in t.history.modeled]

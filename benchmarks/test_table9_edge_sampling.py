@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.bench import (
     BENCH_CONFIGS,
+    bench_transport,
     format_table,
     get_graph,
     get_partition,
@@ -41,7 +42,8 @@ def run_one(name, k, sampler):
     part = get_partition(name, k, method="metis")
     model = make_model(graph, cfg, seed=7)
     trainer = DistributedTrainer(
-        graph, part, model, sampler, lr=cfg.lr, seed=0, cluster=RTX2080TI_CLUSTER
+        graph, part, model, sampler, lr=cfg.lr, seed=0,
+        cluster=RTX2080TI_CLUSTER, transport=bench_transport(k),
     )
     history = trainer.train(EPOCHS, eval_every=max(EPOCHS // 4, 1))
     return {

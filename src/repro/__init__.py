@@ -22,6 +22,13 @@ Quickstart::
     print(trainer.evaluate())
 """
 
+from .tensor import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    scalar_nbytes,
+    set_default_dtype,
+)
 from .graph import Graph, load_dataset, generate_graph, SyntheticSpec
 from .partition import (
     partition_graph,
@@ -57,6 +64,11 @@ from .dist import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "scalar_nbytes",
+    "set_default_dtype",
     "Graph",
     "load_dataset",
     "generate_graph",

@@ -14,6 +14,7 @@ from ..graph.graph import Graph
 from ..graph.propagation import mean_aggregation, sym_norm
 from ..nn import functional as F
 from ..nn.metrics import accuracy, f1_micro_multilabel
+from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam, Optimizer
 from ..tensor import Tensor, no_grad
 
@@ -31,13 +32,15 @@ class FullGraphTrainer:
         seed: int = 0,
         optimizer: Optional[Optimizer] = None,
         aggregation: str = "mean",
+        dtype=None,
     ) -> None:
+        self.dtype = resolve_model_dtype(model, dtype, optimizer)
         self.graph = graph
         self.model = model
         if aggregation == "mean":
-            self.prop = mean_aggregation(graph.adj)
+            self.prop = mean_aggregation(graph.adj, dtype=self.dtype)
         elif aggregation == "sym":
-            self.prop = sym_norm(graph.adj)
+            self.prop = sym_norm(graph.adj, dtype=self.dtype)
         else:
             raise ValueError(f"unknown aggregation {aggregation!r}")
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
@@ -54,7 +57,9 @@ class FullGraphTrainer:
         self.model.train()
         g = self.graph
         t0 = time.perf_counter()
-        out = self.model.full_forward(self.prop, Tensor(g.features), self.dropout_rng)
+        out = self.model.full_forward(
+            self.prop, Tensor(g.features, dtype=self.dtype), self.dropout_rng
+        )
         logits = F.masked_rows(out, g.train_mask)
         if g.multilabel:
             loss = F.bce_with_logits(logits, g.labels[g.train_mask])
@@ -72,7 +77,7 @@ class FullGraphTrainer:
         g = self.graph
         with no_grad():
             logits = self.model.full_forward(
-                self.prop, Tensor(g.features), self.dropout_rng
+                self.prop, Tensor(g.features, dtype=self.dtype), self.dropout_rng
             ).numpy()
         self.model.train()
         return {

@@ -2,8 +2,10 @@
 
 from .harness import (
     BENCH_CONFIGS,
+    BENCH_DTYPE,
     BenchConfig,
     RunSummary,
+    bench_transport,
     get_graph,
     get_partition,
     make_model,
@@ -23,8 +25,10 @@ from .timemodel import (
 
 __all__ = [
     "BENCH_CONFIGS",
+    "BENCH_DTYPE",
     "BenchConfig",
     "RunSummary",
+    "bench_transport",
     "get_graph",
     "get_partition",
     "make_model",

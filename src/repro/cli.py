@@ -64,6 +64,13 @@ def _common_options() -> argparse.ArgumentParser:
         "--sampling-rate", type=float, default=0.1,
         help="boundary node sampling rate p (1.0 = vanilla)",
     )
+    common.add_argument(
+        "--dtype", default=None, choices=("float32", "float64"),
+        help="numeric precision of tensors, operators and wire payloads; "
+             "the byte ledger meters the chosen scalar width (8 B fp64, "
+             "4 B fp32).  Defaults to the library default (REPRO_DTYPE "
+             "env var, else float64)",
+    )
     common.add_argument("--n-hidden", type=int, default=64)
     common.add_argument("--n-layers", type=int, default=2)
     common.add_argument("--dropout", type=float, default=0.5)
@@ -166,7 +173,7 @@ def dist_train_main(argv: Sequence[str]) -> int:
     model_cls = GraphSAGEModel if args.model == "sage" else GCNModel
     model = model_cls(
         graph.feature_dim, args.n_hidden, graph.num_classes,
-        args.n_layers, args.dropout, rng,
+        args.n_layers, args.dropout, rng, dtype=args.dtype,
     )
     p = args.sampling_rate
     sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
@@ -175,6 +182,7 @@ def dist_train_main(argv: Sequence[str]) -> int:
         transport=args.transport, lr=args.lr, seed=args.seed,
         aggregation="sym" if args.model == "gcn" else "mean",
         allreduce_algorithm=args.allreduce, timeout=args.timeout,
+        dtype=args.dtype,
     )
     if not args.quiet:
         print(
@@ -187,6 +195,7 @@ def dist_train_main(argv: Sequence[str]) -> int:
     history = result.history
     rows = [
         ["transport", executor.transport.name],
+        ["dtype", f"{executor.dtype} ({executor.transport.bytes_per_scalar} B/scalar)"],
         ["test score", f"{scores['test']:.4f}"],
         ["val score", f"{scores['val']:.4f}"],
         ["final loss", f"{history.loss[-1]:.4f}"],
@@ -230,17 +239,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         model = GATModel(
             graph.feature_dim, args.n_hidden, graph.num_classes,
-            args.n_layers, args.dropout, rng, num_heads=2,
+            args.n_layers, args.dropout, rng, num_heads=2, dtype=args.dtype,
         )
         trainer = DistributedGATTrainer(
             graph, partition, model, p=p, lr=args.lr, seed=args.seed,
-            cluster=RTX2080TI_CLUSTER,
+            cluster=RTX2080TI_CLUSTER, dtype=args.dtype,
         )
     else:
         model_cls = GraphSAGEModel if args.model == "sage" else GCNModel
         model = model_cls(
             graph.feature_dim, args.n_hidden, graph.num_classes,
-            args.n_layers, args.dropout, rng,
+            args.n_layers, args.dropout, rng, dtype=args.dtype,
         )
         if args.sampler == "bns":
             sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
@@ -253,6 +262,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             graph, partition, model, sampler, lr=args.lr, seed=args.seed,
             cluster=RTX2080TI_CLUSTER,
             aggregation="sym" if args.model == "gcn" else "mean",
+            dtype=args.dtype,
         )
 
     if args.resume:
@@ -286,6 +296,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     scores = trainer.evaluate()
     rows = [
+        ["dtype", f"{trainer.dtype} ({trainer.comm.bytes_per_scalar} B/scalar)"],
         ["test score", f"{scores['test']:.4f}"],
         ["val score", f"{scores['val']:.4f}"],
         ["best val / its test", f"{history.best_val:.4f} / {history.test_at_best_val():.4f}"],

@@ -29,6 +29,7 @@ from ..graph.graph import Graph
 from ..nn import functional as F
 from ..nn.metrics import accuracy, f1_micro_multilabel
 from ..nn.models import GATModel
+from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam, Optimizer
 from ..partition.types import PartitionResult
 from ..tensor import Tensor, concat_rows, gather_rows, no_grad, relu
@@ -36,8 +37,6 @@ from .bns import PartitionRuntime
 from .trainer import TrainHistory
 
 __all__ = ["DistributedGATTrainer"]
-
-BYTES = 4
 
 
 @dataclass
@@ -69,15 +68,19 @@ class DistributedGATTrainer:
         cluster: Optional[ClusterSpec] = None,
         optimizer: Optional[Optimizer] = None,
         transport=None,
+        dtype=None,
     ) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"sampling rate p must be in [0, 1], got {p}")
+        self.dtype = resolve_model_dtype(model, dtype, optimizer)
         self.graph = graph
         self.model = model
         self.p = p
-        self.runtime = PartitionRuntime(graph, partition, aggregation="mean")
+        self.runtime = PartitionRuntime(
+            graph, partition, aggregation="mean", dtype=self.dtype
+        )
         self.comm = resolve_transport(
-            transport, partition.num_parts, bytes_per_scalar=BYTES
+            transport, partition.num_parts, dtype=self.dtype
         )
         self.cluster = cluster
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
@@ -88,7 +91,10 @@ class DistributedGATTrainer:
         ]
         self.dropout_rng = np.random.default_rng(root.integers(0, 2**63 - 1))
         self.history = TrainHistory()
-        self._features = [graph.features[r.inner] for r in self.runtime.ranks]
+        self._features = [
+            np.asarray(graph.features[r.inner], dtype=self.dtype)
+            for r in self.runtime.ranks
+        ]
         self._edges: List[_RankEdges] = [
             self._build_edges(r) for r in self.runtime.ranks
         ]
@@ -208,7 +214,7 @@ class DistributedGATTrainer:
                 epoch_time(
                     per_rank_flops=flops,
                     pairwise_comm_bytes=p2p_bytes,
-                    model_bytes=self.model.num_parameters() * BYTES,
+                    model_bytes=self.model.num_parameters() * self.comm.bytes_per_scalar,
                     cluster=self.cluster,
                     sampling_seconds=modeled_sampling,
                 )
@@ -226,7 +232,7 @@ class DistributedGATTrainer:
         dst = np.concatenate([dst, loop])
         with no_grad():
             logits = self.model.full_forward(
-                src, dst, Tensor(g.features), self.dropout_rng
+                src, dst, Tensor(g.features, dtype=self.dtype), self.dropout_rng
             ).numpy()
         self.model.train()
         return {

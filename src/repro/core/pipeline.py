@@ -52,7 +52,7 @@ from ..nn.optim import Optimizer
 from ..partition.types import PartitionResult
 from ..tensor import Tensor, concat_rows, gather_rows, relu
 from .sampler import BoundarySampler, plan_sampling_ops
-from .trainer import BYTES, DistributedTrainer
+from .trainer import DistributedTrainer
 
 __all__ = ["PipelinedTrainer"]
 
@@ -79,10 +79,11 @@ class PipelinedTrainer(DistributedTrainer):
         optimizer: Optional[Optimizer] = None,
         aggregation: str = "mean",
         transport=None,
+        dtype=None,
     ) -> None:
         super().__init__(
             graph, partition, model, sampler, lr, seed, cluster, optimizer,
-            aggregation, transport,
+            aggregation, transport, dtype,
         )
         # _stale[layer][rank]: that rank's input features to `layer` as
         # of the previous epoch (None until the warm-up epoch fills it).
@@ -222,7 +223,7 @@ class PipelinedTrainer(DistributedTrainer):
             breakdown = epoch_time(
                 per_rank_flops=flops,
                 pairwise_comm_bytes=p2p_bytes,
-                model_bytes=self.model.num_parameters() * BYTES,
+                model_bytes=self.model.num_parameters() * self.comm.bytes_per_scalar,
                 cluster=self.cluster,
                 sampling_seconds=modeled_sampling,
             )

@@ -177,7 +177,7 @@ def explicit_stacked_operator(
         stacked = sp.hstack([rank_data.a_in, sub], format="csr")
         return row_normalise(stacked)
     if kept.size == 0:
-        return sp.csr_matrix(rank_data.p_in, dtype=np.float64)
+        return sp.csr_matrix(rank_data.p_in, dtype=rank_data.p_in.dtype)
     sub = rank_data.p_bd.tocsc()[:, kept]
     if rate != 1.0:
         sub = sub * (1.0 / rate)

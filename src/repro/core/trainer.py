@@ -43,15 +43,21 @@ from ..graph.graph import Graph
 from ..nn import functional as F
 from ..nn.metrics import accuracy, f1_micro_multilabel
 from ..nn.models import GraphSAGEModel, GCNModel
+from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam, Optimizer
 from ..partition.types import PartitionResult
-from ..tensor import Tensor, concat_rows, dropout as dropout_op, gather_rows, no_grad, relu
+from ..tensor import (
+    Tensor,
+    concat_rows,
+    dropout as dropout_op,
+    gather_rows,
+    no_grad,
+    relu,
+)
 from .bns import PartitionRuntime, RankData
 from .sampler import BoundarySampler, FullBoundarySampler, plan_sampling_ops
 
 __all__ = ["TrainHistory", "DistributedTrainer", "BNSTrainer"]
-
-BYTES = 4  # fp32 wire size for metering
 
 
 @dataclass
@@ -105,6 +111,12 @@ class DistributedTrainer:
         runs every rank in-process either way — to actually execute
         ranks behind a data-moving transport use
         :class:`~repro.dist.executor.ProcessRankExecutor`.
+    dtype:
+        Numeric precision of the run (float32/float64).  Omitted, it is
+        taken from the model's parameters, so metering is honest by
+        construction: a default transport's ``bytes_per_scalar`` is the
+        actual scalar width shipped, not an assumed 4 bytes.  Given
+        explicitly, the model is cast to it in place.
     """
 
     def __init__(
@@ -119,13 +131,17 @@ class DistributedTrainer:
         optimizer: Optional[Optimizer] = None,
         aggregation: str = "mean",
         transport: Optional[Transport] = None,
+        dtype=None,
     ) -> None:
+        self.dtype = resolve_model_dtype(model, dtype, optimizer)
         self.graph = graph
-        self.runtime = PartitionRuntime(graph, partition, aggregation=aggregation)
+        self.runtime = PartitionRuntime(
+            graph, partition, aggregation=aggregation, dtype=self.dtype
+        )
         self.model = model
         self.sampler = sampler or FullBoundarySampler()
         self.comm = resolve_transport(
-            transport, partition.num_parts, bytes_per_scalar=BYTES
+            transport, partition.num_parts, dtype=self.dtype
         )
         self.cluster = cluster
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
@@ -138,7 +154,8 @@ class DistributedTrainer:
         self.dropout_rng = np.random.default_rng(root.integers(0, 2**63 - 1))
         self.history = TrainHistory()
         self._features = [
-            graph.features[r.inner] for r in self.runtime.ranks
+            np.asarray(graph.features[r.inner], dtype=self.dtype)
+            for r in self.runtime.ranks
         ]
 
     # ------------------------------------------------------------------
@@ -242,7 +259,7 @@ class DistributedTrainer:
             breakdown = epoch_time(
                 per_rank_flops=flops,
                 pairwise_comm_bytes=p2p_bytes,
-                model_bytes=self.model.num_parameters() * BYTES,
+                model_bytes=self.model.num_parameters() * self.comm.bytes_per_scalar,
                 cluster=self.cluster,
                 sampling_seconds=modeled_sampling,
             )
@@ -255,7 +272,9 @@ class DistributedTrainer:
         self.model.eval()
         with no_grad():
             logits = self.model.full_forward(
-                self.runtime.full_prop, Tensor(self.graph.features), self.dropout_rng
+                self.runtime.full_prop,
+                Tensor(self.graph.features, dtype=self.dtype),
+                self.dropout_rng,
             ).numpy()
         self.model.train()
         g = self.graph

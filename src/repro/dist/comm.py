@@ -41,7 +41,12 @@ class SimulatedCommunicator(Transport):
     num_parts:
         Number of simulated ranks.
     bytes_per_scalar:
-        Wire size of one scalar (4 = fp32/int32, the paper's setting).
+        Wire size of one scalar.  Omitted, it derives from ``dtype``
+        (the run's precision; the library default when that is omitted
+        too) so the simulated ledger matches what a real transport
+        would ship: 8 bytes at float64, 4 at float32.
+    dtype:
+        The precision the simulated run represents.
 
     The entire behaviour — ``send`` / ``broadcast`` / ``allreduce``
     over scalar counts, ``reset``, ``total_bytes``, ``pairwise`` — is
@@ -53,8 +58,8 @@ class SimulatedCommunicator(Transport):
 
     name = "simulated"
 
-    def __init__(self, num_parts: int, bytes_per_scalar: int = 4) -> None:
-        super().__init__(num_parts, bytes_per_scalar)
+    def __init__(self, num_parts: int, bytes_per_scalar=None, dtype=None) -> None:
+        super().__init__(num_parts, bytes_per_scalar, dtype=dtype)
 
     def __repr__(self) -> str:
         return (

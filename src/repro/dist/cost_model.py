@@ -34,7 +34,10 @@ from typing import Sequence
 
 import numpy as np
 
+from ..tensor.dtype import scalar_nbytes
+
 __all__ = [
+    "PAPER_DTYPE",
     "SECONDS_PER_SAMPLER_EDGE",
     "DeviceSpec",
     "ClusterSpec",
@@ -48,7 +51,14 @@ __all__ = [
     "cagnet_epoch_model",
 ]
 
-BYTES = 4  # fp32 wire/storage size
+#: Wire/storage size the *analytic* system models price scalars at.
+#: The paper's testbeds train in fp32, so the Figure 4 / Table 6 style
+#: models stay calibrated to 4-byte scalars regardless of the library's
+#: numeric default; pass ``dtype=`` to re-price them at another
+#: precision.  Metered runs (trainers/transports) derive their own
+#: ``bytes_per_scalar`` from the active dtype instead of this constant.
+PAPER_DTYPE = np.float32
+BYTES = scalar_nbytes(PAPER_DTYPE)
 
 #: Seconds per element a sampler touches while drawing its per-epoch
 #: structure (boundary nodes drawn + edges of the selected columns).
@@ -253,16 +263,20 @@ def _sage_flops(n_rows: float, nnz: float, dims: Sequence[int]) -> float:
     return total
 
 
-def bns_epoch_model(workload, cluster: ClusterSpec, p: float) -> EpochBreakdown:
+def bns_epoch_model(workload, cluster: ClusterSpec, p: float,
+                    dtype=PAPER_DTYPE) -> EpochBreakdown:
     """BNS-GCN epoch at boundary sampling rate ``p`` (Eq. 3 priced).
 
     Communication is the kept boundary features (and their gradients)
     moving owner→consumer each layer; sampling cost follows the
     split-operator planner — proportional to the *kept* boundary
     nodes/edges, zero at p=1 where the cached full plan is reused.
+    ``dtype`` prices the wire scalars (fp32, the paper's setting, by
+    default).
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"sampling rate p must be in [0, 1], got {p}")
+    nbytes = scalar_nbytes(dtype)
     m = workload.num_parts
     dims = workload.layer_dims
     width = float(sum(dims[:-1]))  # layer input widths, as metered
@@ -284,7 +298,7 @@ def bns_epoch_model(workload, cluster: ClusterSpec, p: float) -> EpochBreakdown:
         for j in range(m):
             if i == j:
                 continue
-            feature_bytes = p * pair[j, i] * width * BYTES
+            feature_bytes = p * pair[j, i] * width * nbytes
             b[j, i] += feature_bytes  # forward: owner j -> consumer i
             b[i, j] += feature_bytes  # backward: gradients retrace the path
 
@@ -302,12 +316,13 @@ def bns_epoch_model(workload, cluster: ClusterSpec, p: float) -> EpochBreakdown:
     return EpochBreakdown(
         compute=float(flops.max()) / cluster.device.effective_flops,
         communication=_comm_seconds(b, cluster),
-        reduce=_reduce_seconds(workload.model_params * BYTES, cluster, m),
+        reduce=_reduce_seconds(workload.model_params * nbytes, cluster, m),
         sampling=sampling,
     )
 
 
-def roc_epoch_model(workload, cluster: ClusterSpec) -> EpochBreakdown:
+def roc_epoch_model(workload, cluster: ClusterSpec,
+                    dtype=PAPER_DTYPE) -> EpochBreakdown:
     """ROC (Jia et al.): full-graph training that streams partition
     activations over the (shared) host link every layer.
 
@@ -316,6 +331,7 @@ def roc_epoch_model(workload, cluster: ClusterSpec) -> EpochBreakdown:
     on a machine, which is why ROC's throughput stalls as partitions
     are added (Figure 4's flat curves).
     """
+    nbytes = scalar_nbytes(dtype)
     m = workload.num_parts
     dims = workload.layer_dims
     n_local = workload.inner_sizes + workload.boundary_sizes
@@ -328,17 +344,18 @@ def roc_epoch_model(workload, cluster: ClusterSpec) -> EpochBreakdown:
     )
     layer_widths = sum(d_in + d_out for d_in, d_out in zip(dims[:-1], dims[1:]))
     sharing = min(m, cluster.devices_per_machine)
-    swap_bytes = n_local.astype(np.float64) * layer_widths * BYTES * 2.0
+    swap_bytes = n_local.astype(np.float64) * layer_widths * nbytes * 2.0
     comm = float(swap_bytes.max()) * sharing / cluster.host_bandwidth
     return EpochBreakdown(
         compute=float(flops.max()) / cluster.device.effective_flops,
         communication=comm,
-        reduce=_reduce_seconds(workload.model_params * BYTES, cluster, m),
+        reduce=_reduce_seconds(workload.model_params * nbytes, cluster, m),
         sampling=0.0,
     )
 
 
-def cagnet_epoch_model(workload, cluster: ClusterSpec, c: int) -> EpochBreakdown:
+def cagnet_epoch_model(workload, cluster: ClusterSpec, c: int,
+                       dtype=PAPER_DTYPE) -> EpochBreakdown:
     """CAGNET's 1.5D algorithm with replication factor ``c``.
 
     Each layer broadcasts the (replicated) feature blocks around the
@@ -348,6 +365,7 @@ def cagnet_epoch_model(workload, cluster: ClusterSpec, c: int) -> EpochBreakdown
     """
     if c < 1:
         raise ValueError(f"replication factor c must be >= 1, got {c}")
+    nbytes = scalar_nbytes(dtype)
     m = workload.num_parts
     dims = workload.layer_dims
     n = float(workload.num_nodes)
@@ -357,16 +375,16 @@ def cagnet_epoch_model(workload, cluster: ClusterSpec, c: int) -> EpochBreakdown
     bw, lat = cluster.bottleneck(m)
     # Broadcast volume per rank per epoch (forward + transposed backward),
     # shrunk by the replication factor; one message per grid step.
-    volume = 2.0 * n * width * BYTES / c
+    volume = 2.0 * n * width * nbytes / c
     steps = max(m // max(c, 1) - 1, 1)
     comm = volume / bw + steps * lat
     # Replicas combine partial aggregates with a c-way reduce per layer.
-    replica_bytes = (n / m) * width * BYTES * max(c - 1, 0)
+    replica_bytes = (n / m) * width * nbytes * max(c - 1, 0)
     comm += replica_bytes / bw
     return EpochBreakdown(
         compute=flops / cluster.device.effective_flops,
         communication=comm,
-        reduce=_reduce_seconds(workload.model_params * BYTES, cluster, m),
+        reduce=_reduce_seconds(workload.model_params * nbytes, cluster, m),
         sampling=0.0,
     )
 

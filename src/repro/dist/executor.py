@@ -51,11 +51,12 @@ import numpy as np
 
 from ..core.bns import PartitionRuntime, RankData
 from ..core.sampler import BoundarySampler, FullBoundarySampler
-from ..core.trainer import BYTES, TrainHistory
+from ..core.trainer import TrainHistory
 from ..graph.graph import Graph
 from ..nn import functional as F
 from ..nn.metrics import accuracy, f1_micro_multilabel
 from ..nn.models import GCNModel, GraphSAGEModel
+from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam
 from ..partition.types import PartitionResult
 from ..tensor import Tensor, concat_rows, gather_rows, no_grad, relu
@@ -87,6 +88,7 @@ class _RankTask:
     loss_denom: float
     multilabel: bool
     allreduce_algorithm: str
+    dtype: str = "float64"
 
 
 @dataclass
@@ -121,7 +123,7 @@ def _build_model(task: _RankTask):
     hidden = dims[1] if num_layers > 1 else dims[-1]
     cls = GraphSAGEModel if task.model_kind == "sage" else GCNModel
     model = cls(dims[0], hidden, dims[-1], num_layers, task.dropout,
-                np.random.default_rng(0))
+                np.random.default_rng(0), dtype=np.dtype(task.dtype))
     model.load_state_dict(task.state)
     return model
 
@@ -239,14 +241,14 @@ def _run_rank(ep: Endpoint, task: _RankTask) -> _RankOutcome:
             for owner, owner_rows, block in leaves:
                 grad = block.grad
                 if grad is None:
-                    grad = np.zeros((owner_rows.size, d_in))
+                    grad = np.zeros((owner_rows.size, d_in), dtype=block.dtype)
                 sends[owner] = grad
             expect = [j for j, rows in serve_rows.items() if rows.size]
             received = ep.exchange(sends, expect, tag="backward")
 
             grad_h = h_leaf.grad
             if grad_h is None:
-                grad_h = np.zeros((n_inner, d_in))
+                grad_h = np.zeros((n_inner, d_in), dtype=h_leaf.dtype)
             for j in expect:
                 grad_h[serve_rows[j]] += received[j]
             seed = grad_h
@@ -300,6 +302,12 @@ class ProcessRankExecutor:
     timeout:
         Deadline in seconds for the whole launch; a hung worker fails
         fast instead of stalling the caller.
+    dtype:
+        Precision of the run; taken from the model when omitted (as for
+        :class:`~repro.core.trainer.DistributedTrainer`).  Every rank's
+        shard — operator blocks, features, replica, gradients — ships
+        and computes in this dtype, and the transport meters its actual
+        scalar width.
     """
 
     def __init__(
@@ -314,6 +322,7 @@ class ProcessRankExecutor:
         aggregation: str = "mean",
         allreduce_algorithm: str = "ring",
         timeout: float = 300.0,
+        dtype=None,
     ) -> None:
         if isinstance(model, GraphSAGEModel):
             self._model_kind = "sage"
@@ -324,8 +333,11 @@ class ProcessRankExecutor:
                 "ProcessRankExecutor supports GraphSAGEModel/GCNModel, "
                 f"got {type(model).__name__}"
             )
+        self.dtype = resolve_model_dtype(model, dtype)
         self.graph = graph
-        self.runtime = PartitionRuntime(graph, partition, aggregation=aggregation)
+        self.runtime = PartitionRuntime(
+            graph, partition, aggregation=aggregation, dtype=self.dtype
+        )
         self.model = model
         self.sampler = sampler or FullBoundarySampler()
         self.lr = lr
@@ -335,7 +347,7 @@ class ProcessRankExecutor:
         m = partition.num_parts
         self.transport = resolve_transport(
             "multiprocess" if transport is None else transport,
-            m, bytes_per_scalar=BYTES,
+            m, dtype=self.dtype,
         )
         # Mirror DistributedTrainer's RNG derivation exactly so seeded
         # runs draw identical boundary samples.
@@ -359,7 +371,9 @@ class ProcessRankExecutor:
                 rank=r.rank,
                 num_parts=self.num_parts,
                 rank_data=r,
-                features=self.graph.features[r.inner],
+                features=np.asarray(
+                    self.graph.features[r.inner], dtype=self.dtype
+                ),
                 model_kind=self._model_kind,
                 model_dims=list(self.model.dims),
                 dropout=self.model.dropout.rate,
@@ -372,6 +386,7 @@ class ProcessRankExecutor:
                 loss_denom=float(denom),
                 multilabel=bool(self.graph.multilabel),
                 allreduce_algorithm=self.allreduce_algorithm,
+                dtype=str(self.dtype),
             )
             for r in self.runtime.ranks
         ]
@@ -437,7 +452,9 @@ class ProcessRankExecutor:
         rng = np.random.default_rng(0)
         with no_grad():
             logits = self.model.full_forward(
-                self.runtime.full_prop, Tensor(self.graph.features), rng
+                self.runtime.full_prop,
+                Tensor(self.graph.features, dtype=self.dtype),
+                rng,
             ).numpy()
         self.model.train()
         g = self.graph

@@ -37,6 +37,12 @@ happens to push — pickle framing, pipe overhead and the choice of
 ring- vs tree-AllReduce never leak into the measurements.  That is
 what makes cost-model numbers comparable across simulated and real
 runs, and it is asserted by the transport conformance suite.
+
+``bytes_per_scalar`` itself is honest by construction: unless
+overridden it derives from the transport's configured ``dtype``
+(:func:`~repro.tensor.dtype.scalar_nbytes` — 8 for the float64
+default, 4 under ``--dtype float32``), so the ledger prices exactly
+the scalar width the data plane actually pickles and ships.
 """
 
 from __future__ import annotations
@@ -47,6 +53,8 @@ import traceback
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..tensor.dtype import float_dtype_for_nbytes, resolve_dtype, scalar_nbytes
 
 __all__ = [
     "ByteMeter",
@@ -60,23 +68,27 @@ __all__ = [
 ]
 
 
-def resolve_transport(transport, num_parts: int, bytes_per_scalar: int = 4):
+def resolve_transport(transport, num_parts: int, bytes_per_scalar: Optional[int] = None,
+                      dtype=None):
     """Normalise a trainer/executor ``transport=`` argument.
 
     ``None`` yields a fresh metering-only
     :class:`~repro.dist.comm.SimulatedCommunicator`; the strings
     ``"local"`` / ``"multiprocess"`` build the matching data-moving
     transport; an existing :class:`Transport` is validated against the
-    partition's rank count and returned as-is.
+    partition's rank count and returned as-is (its own metering
+    configuration wins).  A freshly built transport meters
+    ``scalar_nbytes(dtype)`` per scalar unless ``bytes_per_scalar``
+    overrides it explicitly.
     """
     if transport is None or transport == "simulated":
         from .comm import SimulatedCommunicator
 
-        return SimulatedCommunicator(num_parts, bytes_per_scalar)
+        return SimulatedCommunicator(num_parts, bytes_per_scalar, dtype=dtype)
     if transport == "local":
-        return LocalTransport(num_parts, bytes_per_scalar)
+        return LocalTransport(num_parts, bytes_per_scalar, dtype=dtype)
     if transport == "multiprocess":
-        return MultiprocessTransport(num_parts, bytes_per_scalar)
+        return MultiprocessTransport(num_parts, bytes_per_scalar, dtype=dtype)
     if not isinstance(transport, Transport):
         raise TypeError(f"unknown transport {transport!r}")
     if transport.num_parts != num_parts:
@@ -111,13 +123,21 @@ class ByteMeter:
     land in ``pairwise[src, dst]``, and the AllReduce meters the ring
     formula from each rank to its ring successor regardless of the
     algorithm that actually moves the data.
+
+    ``bytes_per_scalar`` omitted derives from ``dtype`` (the configured
+    precision of the run; library default when that is omitted too) —
+    the ledger prices exactly the scalar width the run ships.
     """
 
-    def __init__(self, num_parts: int, bytes_per_scalar: int = 4) -> None:
+    def __init__(self, num_parts: int, bytes_per_scalar: Optional[int] = None,
+                 dtype=None) -> None:
         if num_parts < 1:
             raise ValueError(f"num_parts must be >= 1, got {num_parts}")
         self.num_parts = num_parts
-        self.bytes_per_scalar = bytes_per_scalar
+        self.bytes_per_scalar = (
+            int(bytes_per_scalar) if bytes_per_scalar is not None
+            else scalar_nbytes(dtype)
+        )
         self.pairwise: np.ndarray = np.zeros((num_parts, num_parts), dtype=np.int64)
         self.by_tag: Dict[str, int] = {}
 
@@ -190,8 +210,10 @@ class Transport:
 
     name = "abstract"
 
-    def __init__(self, num_parts: int, bytes_per_scalar: int = 4) -> None:
-        self.meter = ByteMeter(num_parts, bytes_per_scalar)
+    def __init__(self, num_parts: int, bytes_per_scalar: Optional[int] = None,
+                 dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
+        self.meter = ByteMeter(num_parts, bytes_per_scalar, dtype=self.dtype)
 
     # -- metering plane (SimulatedCommunicator-compatible) -------------
     @property
@@ -274,6 +296,25 @@ class Endpoint:
     def _get(self, src: int):  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _check_float_width(self, payload: np.ndarray, tag: str) -> None:
+        """Metered == shipped, enforced: a float payload whose scalar
+        width differs from the meter's ``bytes_per_scalar`` would be
+        silently mis-priced (the pre-dtype-subsystem bug).  Integer
+        payloads (index broadcasts) are exempt — they are metered at
+        the run's scalar width by convention."""
+        if (
+            payload.size
+            and payload.dtype.kind == "f"
+            and payload.dtype.itemsize != self.bytes_per_scalar
+        ):
+            raise TransportError(
+                f"rank {self.rank} shipping a {payload.dtype} payload "
+                f"(tag {tag!r}) through a transport metering "
+                f"{self.bytes_per_scalar} B/scalar — metered would not "
+                "equal shipped; construct the transport with the run's "
+                "dtype (or cast the payload)"
+            )
+
     # -- point-to-point ------------------------------------------------
     def send(self, dst: int, payload: np.ndarray, tag: str) -> int:
         """Send ``payload`` to ``dst``; meters ``payload.size`` scalars.
@@ -284,6 +325,7 @@ class Endpoint:
         if dst == self.rank:
             raise TransportError(f"rank {self.rank} cannot send to itself")
         payload = np.asarray(payload)
+        self._check_float_width(payload, tag)
         nbytes = self.meter.record_send(self.rank, dst, payload.size, tag)
         self._put(dst, (tag, payload))
         return nbytes
@@ -299,6 +341,7 @@ class Endpoint:
         if dst == self.rank:
             raise TransportError(f"rank {self.rank} cannot send to itself")
         payload = np.asarray(payload)
+        self._check_float_width(payload, tag)
         self.meter.record_send(self.rank, dst, payload.size, tag)
         thread = threading.Thread(
             target=self._put, args=(dst, (tag, payload)), daemon=True
@@ -360,8 +403,18 @@ class Endpoint:
         is bitwise identical on every rank — each chunk is finalised by
         exactly one rank and copies of it are distributed — which is
         what keeps model replicas in lockstep.
+
+        The payload's float dtype is preserved on the wire: fp32
+        gradients ship and reduce as fp32 (what the meter prices), with
+        no silent fp64 upcast anywhere on the path.
         """
-        arr = np.asarray(array, dtype=np.float64)
+        arr = np.asarray(array)
+        self._check_float_width(arr, tag)
+        if arr.dtype.kind != "f":
+            # Integer summands reduce as floats; pick the float whose
+            # width matches the meter so even this fallback ships
+            # exactly what it prices.
+            arr = arr.astype(float_dtype_for_nbytes(self.bytes_per_scalar))
         shape = arr.shape
         flat = arr.ravel().copy()
         self.meter.record_allreduce_rank(self.rank, flat.size, tag)
@@ -455,9 +508,9 @@ class LocalTransport(Transport):
 
     name = "local"
 
-    def __init__(self, num_parts: int, bytes_per_scalar: int = 4,
-                 recv_timeout: float = 60.0) -> None:
-        super().__init__(num_parts, bytes_per_scalar)
+    def __init__(self, num_parts: int, bytes_per_scalar: Optional[int] = None,
+                 recv_timeout: float = 60.0, dtype=None) -> None:
+        super().__init__(num_parts, bytes_per_scalar, dtype=dtype)
         self.recv_timeout = recv_timeout
 
     def launch(self, worker, payloads=None, timeout=None):
@@ -576,9 +629,10 @@ class MultiprocessTransport(Transport):
 
     name = "multiprocess"
 
-    def __init__(self, num_parts: int, bytes_per_scalar: int = 4,
-                 recv_timeout: float = 60.0, start_method: Optional[str] = None) -> None:
-        super().__init__(num_parts, bytes_per_scalar)
+    def __init__(self, num_parts: int, bytes_per_scalar: Optional[int] = None,
+                 recv_timeout: float = 60.0, start_method: Optional[str] = None,
+                 dtype=None) -> None:
+        super().__init__(num_parts, bytes_per_scalar, dtype=dtype)
         self.recv_timeout = recv_timeout
         self.start_method = start_method
 

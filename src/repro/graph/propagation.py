@@ -13,34 +13,44 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..tensor import SparseOp
+from ..tensor import SparseOp, float_dtype_like, resolve_dtype
 
 __all__ = ["mean_aggregation", "sym_norm", "row_normalise", "safe_inverse"]
 
 
-def safe_inverse(values: np.ndarray) -> np.ndarray:
+def safe_inverse(values: np.ndarray, dtype=None) -> np.ndarray:
     """Elementwise ``1/x`` with non-finite results (x = 0) set to 0.
 
     The row-scale vector of a lazily-normalised operator: zero-degree
-    rows stay all-zero instead of propagating inf/nan.
+    rows stay all-zero instead of propagating inf/nan.  Float inputs
+    keep their dtype (an fp32 degree vector yields fp32 scales).
     """
-    values = np.asarray(values, dtype=np.float64)
+    arr = np.asarray(values)
+    if dtype is None:
+        dtype = float_dtype_like(arr.dtype)
+    values = arr.astype(dtype, copy=False)
     with np.errstate(divide="ignore"):
         inv = 1.0 / values
     inv[~np.isfinite(inv)] = 0.0
     return inv
 
 
-def mean_aggregation(adj: sp.spmatrix) -> SparseOp:
+def mean_aggregation(adj: sp.spmatrix, dtype=None) -> SparseOp:
     """``P = D^{-1} A``; isolated nodes get an all-zero row."""
-    return SparseOp(row_normalise(sp.csr_matrix(adj)))
+    return SparseOp(row_normalise(sp.csr_matrix(adj), dtype=dtype))
 
 
-def sym_norm(adj: sp.spmatrix, add_self_loops: bool = True) -> SparseOp:
+def sym_norm(adj: sp.spmatrix, add_self_loops: bool = True, dtype=None) -> SparseOp:
     """``P = D̃^{-1/2} Ã D̃^{-1/2}`` with Ã = A + I by default."""
-    a = sp.csr_matrix(adj, dtype=np.float64)
+    if dtype is None:
+        dtype = float_dtype_like(adj.dtype)
+    else:
+        dtype = resolve_dtype(dtype)
+    a = sp.csr_matrix(adj, dtype=dtype)
     if add_self_loops:
-        a = a + sp.eye(a.shape[0], format="csr")
+        # sp.eye defaults to float64; an un-dtyped identity would
+        # silently promote the whole operator back to fp64.
+        a = a + sp.eye(a.shape[0], format="csr", dtype=a.dtype)
     deg = np.asarray(a.sum(axis=1)).ravel()
     with np.errstate(divide="ignore"):
         d_inv_sqrt = 1.0 / np.sqrt(deg)
@@ -49,7 +59,7 @@ def sym_norm(adj: sp.spmatrix, add_self_loops: bool = True) -> SparseOp:
     return SparseOp(d_mat @ a @ d_mat)
 
 
-def row_normalise(matrix: sp.csr_matrix) -> sp.csr_matrix:
+def row_normalise(matrix: sp.csr_matrix, dtype=None) -> sp.csr_matrix:
     """Divide each row by its sum (zero rows stay zero).
 
     Note this materialises a rescaled copy of the matrix; the
@@ -57,6 +67,10 @@ def row_normalise(matrix: sp.csr_matrix) -> sp.csr_matrix:
     sums as the ``row_scale`` of a
     :class:`~repro.tensor.sparse.SplitOperator` instead.
     """
-    m = sp.csr_matrix(matrix, dtype=np.float64)
+    if dtype is None:
+        dtype = float_dtype_like(matrix.dtype)
+    else:
+        dtype = resolve_dtype(dtype)
+    m = sp.csr_matrix(matrix, dtype=dtype)
     inv = safe_inverse(np.asarray(m.sum(axis=1)).ravel())
     return sp.diags(inv) @ m

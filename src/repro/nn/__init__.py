@@ -1,6 +1,6 @@
 """Neural-network substrate: modules, layers, models, losses, optimisers."""
 
-from .module import Module, Parameter
+from .module import Module, Parameter, module_dtype, resolve_model_dtype
 from .layers import Linear, Dropout
 from .sage import SAGELayer
 from .gcn import GCNLayer
@@ -22,6 +22,8 @@ from . import functional
 __all__ = [
     "Module",
     "Parameter",
+    "module_dtype",
+    "resolve_model_dtype",
     "Linear",
     "Dropout",
     "SAGELayer",

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .module import Module
+from .module import Module, module_dtype
 from .optim import Adam, Optimizer, SGD
 
 __all__ = ["save_checkpoint", "load_checkpoint", "optimizer_state", "load_optimizer_state"]
@@ -50,16 +50,24 @@ def load_optimizer_state(optimizer: Optimizer, state: Dict[str, np.ndarray]) -> 
         if kind != "adam":
             raise TypeError(f"checkpoint holds {kind} state, optimizer is Adam")
         optimizer._t = int(state[f"{_META_PREFIX}t"])
-        for i in range(len(optimizer.params)):
+        for i, p in enumerate(optimizer.params):
             if f"{_OPT_PREFIX}m{i}" in state:
-                optimizer._m[i] = state[f"{_OPT_PREFIX}m{i}"].copy()
-                optimizer._v[i] = state[f"{_OPT_PREFIX}v{i}"].copy()
+                # Moments follow the parameter's dtype so a restored
+                # fp32 run does not mix fp64 state into every step.
+                optimizer._m[i] = state[f"{_OPT_PREFIX}m{i}"].astype(
+                    p.data.dtype, copy=True
+                )
+                optimizer._v[i] = state[f"{_OPT_PREFIX}v{i}"].astype(
+                    p.data.dtype, copy=True
+                )
     elif isinstance(optimizer, SGD):
         if kind != "sgd":
             raise TypeError(f"checkpoint holds {kind} state, optimizer is SGD")
-        for i in range(len(optimizer.params)):
+        for i, p in enumerate(optimizer.params):
             if f"{_OPT_PREFIX}vel{i}" in state:
-                optimizer._velocity[i] = state[f"{_OPT_PREFIX}vel{i}"].copy()
+                optimizer._velocity[i] = state[f"{_OPT_PREFIX}vel{i}"].astype(
+                    p.data.dtype, copy=True
+                )
     else:
         raise TypeError(f"unsupported optimizer type {type(optimizer).__name__}")
 
@@ -79,6 +87,7 @@ def save_checkpoint(
         if key.startswith((_OPT_PREFIX, _META_PREFIX)):
             raise ValueError(f"parameter name {key!r} collides with a reserved prefix")
     arrays[f"{_META_PREFIX}epoch"] = np.array(epoch)
+    arrays[f"{_META_PREFIX}dtype"] = np.array(str(module_dtype(model)))
     if optimizer is not None:
         arrays.update(optimizer_state(optimizer))
     if not path.endswith(".npz"):

@@ -51,7 +51,8 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray, reduction: str = "mean"
     Implements ``max(x,0) - x*t + log(1 + exp(-|x|))`` elementwise.
     """
     logits = as_tensor(logits)
-    t = np.asarray(targets, dtype=np.float64)
+    # Targets follow the logits dtype (fp32 logits keep an fp32 loss path).
+    t = np.asarray(targets, dtype=logits.data.dtype)
     x = logits.data
     out_data = np.maximum(x, 0.0) - x * t + np.log1p(np.exp(-np.abs(x)))
 

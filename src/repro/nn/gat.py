@@ -48,6 +48,7 @@ class GATLayer(Module):
         rng: np.random.Generator,
         num_heads: int = 1,
         negative_slope: float = 0.2,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.in_features = in_features
@@ -55,11 +56,15 @@ class GATLayer(Module):
         self.num_heads = num_heads
         self.negative_slope = negative_slope
         self.weight = Parameter(
-            xavier_uniform((in_features, num_heads * out_features), rng).data
+            xavier_uniform((in_features, num_heads * out_features), rng, dtype=dtype).data
         )
         # Attention vectors, one (a_src, a_dst) pair per head.
-        self.att_src = Parameter(xavier_uniform((num_heads, out_features), rng).data)
-        self.att_dst = Parameter(xavier_uniform((num_heads, out_features), rng).data)
+        self.att_src = Parameter(
+            xavier_uniform((num_heads, out_features), rng, dtype=dtype).data
+        )
+        self.att_dst = Parameter(
+            xavier_uniform((num_heads, out_features), rng, dtype=dtype).data
+        )
 
     def forward(
         self,

@@ -26,12 +26,15 @@ class GCNLayer(Module):
         out_features: int,
         rng: np.random.Generator,
         bias: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(xavier_uniform((in_features, out_features), rng).data)
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.weight = Parameter(
+            xavier_uniform((in_features, out_features), rng, dtype=dtype).data
+        )
+        self.bias = Parameter(np.zeros(out_features), dtype=dtype) if bias else None
 
     def forward(self, prop: SparseOp, h_all: Tensor, h_self: Tensor = None) -> Tensor:
         """``h_self`` is accepted (and ignored) so GCN and SAGE layers

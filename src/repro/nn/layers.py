@@ -21,12 +21,17 @@ class Linear(Module):
         out_features: int,
         rng: np.random.Generator,
         bias: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(xavier_uniform((in_features, out_features), rng).data)
-        self.bias: Optional[Parameter] = Parameter(np.zeros(out_features)) if bias else None
+        self.weight = Parameter(
+            xavier_uniform((in_features, out_features), rng, dtype=dtype).data
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(np.zeros(out_features), dtype=dtype) if bias else None
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight

@@ -14,7 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..tensor import SparseOp, Tensor, relu
+from ..tensor import SparseOp, Tensor, relu, resolve_dtype
 from .layers import Dropout
 from .module import Module
 from .gat import GATLayer
@@ -36,9 +36,10 @@ def layer_dims(in_dim: int, hidden_dim: int, out_dim: int, num_layers: int) -> L
 class _StackedModel(Module):
     """Shared plumbing for SAGE/GCN stacks (layers + dropout + ReLU)."""
 
-    def __init__(self, dims: List[int], dropout: float) -> None:
+    def __init__(self, dims: List[int], dropout: float, dtype=None) -> None:
         super().__init__()
         self.dims = dims
+        self.dtype = resolve_dtype(dtype)
         self.dropout = Dropout(dropout)
         self.layers: List[Module] = []
 
@@ -73,11 +74,13 @@ class GraphSAGEModel(_StackedModel):
         num_layers: int,
         dropout: float,
         rng: np.random.Generator,
+        dtype=None,
     ) -> None:
         dims = layer_dims(in_dim, hidden_dim, out_dim, num_layers)
-        super().__init__(dims, dropout)
+        super().__init__(dims, dropout, dtype)
         self.layers = [
-            SAGELayer(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+            SAGELayer(dims[i], dims[i + 1], rng, dtype=self.dtype)
+            for i in range(len(dims) - 1)
         ]
 
     def layer_flops(self, layer_idx: int, n_self: int, n_all: int, nnz: int) -> int:
@@ -95,11 +98,13 @@ class GCNModel(_StackedModel):
         num_layers: int,
         dropout: float,
         rng: np.random.Generator,
+        dtype=None,
     ) -> None:
         dims = layer_dims(in_dim, hidden_dim, out_dim, num_layers)
-        super().__init__(dims, dropout)
+        super().__init__(dims, dropout, dtype)
         self.layers = [
-            GCNLayer(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+            GCNLayer(dims[i], dims[i + 1], rng, dtype=self.dtype)
+            for i in range(len(dims) - 1)
         ]
 
     def layer_flops(self, layer_idx: int, n_self: int, n_all: int, nnz: int) -> int:
@@ -119,25 +124,33 @@ class GATModel(Module):
         dropout: float,
         rng: np.random.Generator,
         num_heads: int = 2,
+        dtype=None,
     ) -> None:
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
+        self.dtype = resolve_dtype(dtype)
         self.dropout = Dropout(dropout)
         self.num_heads = num_heads
+        dt = self.dtype
         layers: List[GATLayer] = []
         if num_layers == 1:
-            layers.append(GATLayer(in_dim, out_dim, rng, num_heads=1))
+            layers.append(GATLayer(in_dim, out_dim, rng, num_heads=1, dtype=dt))
             dims = [in_dim, out_dim]
         else:
-            layers.append(GATLayer(in_dim, hidden_dim, rng, num_heads=num_heads))
+            layers.append(
+                GATLayer(in_dim, hidden_dim, rng, num_heads=num_heads, dtype=dt)
+            )
             dims = [in_dim, hidden_dim * num_heads]
             for _ in range(num_layers - 2):
                 layers.append(
-                    GATLayer(hidden_dim * num_heads, hidden_dim, rng, num_heads=num_heads)
+                    GATLayer(hidden_dim * num_heads, hidden_dim, rng,
+                             num_heads=num_heads, dtype=dt)
                 )
                 dims.append(hidden_dim * num_heads)
-            layers.append(GATLayer(hidden_dim * num_heads, out_dim, rng, num_heads=1))
+            layers.append(
+                GATLayer(hidden_dim * num_heads, out_dim, rng, num_heads=1, dtype=dt)
+            )
             dims.append(out_dim)
         self.layers = layers
         self.dims = dims

@@ -12,16 +12,46 @@ from typing import Dict, Iterator, List
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, get_default_dtype, resolve_dtype
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "module_dtype", "resolve_model_dtype"]
 
 
 class Parameter(Tensor):
     """A tensor that is always trainable."""
 
-    def __init__(self, data) -> None:
-        super().__init__(data, requires_grad=True)
+    def __init__(self, data, dtype=None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+def module_dtype(module: "Module") -> np.dtype:
+    """The float dtype a module's parameters are stored in.
+
+    Parameterless modules report the library default.  Trainers use
+    this to derive honest byte metering from the model they are given.
+    """
+    for p in module.parameters():
+        return p.data.dtype
+    return get_default_dtype()
+
+
+def resolve_model_dtype(model: "Module", dtype=None, optimizer=None) -> np.dtype:
+    """Resolve a trainer's run dtype against its model — one policy
+    shared by every trainer/executor.
+
+    ``None`` adopts the model's parameter dtype (metering then prices
+    exactly what the model computes in).  An explicit dtype casts the
+    model in place, and a warm externally-built ``optimizer`` has its
+    state buffers re-aligned so fp64 moments never keep feeding fp32
+    steps (or vice versa).
+    """
+    if dtype is None:
+        return module_dtype(model)
+    target = resolve_dtype(dtype)
+    model.to(target)
+    if optimizer is not None:
+        optimizer.to()
+    return target
 
 
 class Module:
@@ -65,6 +95,28 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def to(self, dtype) -> "Module":
+        """Cast every parameter (and live gradient) to ``dtype`` in place.
+
+        Modules that advertise a ``dtype`` attribute (the model
+        containers) have it updated too, so ``module_dtype`` and the
+        attribute stay consistent.
+        """
+        target = resolve_dtype(dtype)
+        for p in self.parameters():
+            p.data = p.data.astype(target, copy=False)
+            if p.grad is not None:
+                p.grad = p.grad.astype(target, copy=False)
+
+        def _stamp(mod: "Module") -> None:
+            if hasattr(mod, "dtype"):
+                object.__setattr__(mod, "dtype", target)
+            for child in mod._modules.values():
+                _stamp(child)
+
+        _stamp(self)
+        return self
+
     # ------------------------------------------------------------------
     def train(self) -> "Module":
         object.__setattr__(self, "training", True)
@@ -93,4 +145,6 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}"
                 )
-            p.data = state[name].astype(np.float64).copy()
+            # Restore in the parameter's own dtype: loading an fp64
+            # checkpoint into an fp32 model must not mix precisions.
+            p.data = state[name].astype(p.data.dtype, copy=True)

@@ -30,6 +30,20 @@ class Optimizer:
         for p in self.params:
             p.zero_grad()
 
+    def to(self) -> "Optimizer":
+        """Align internal state buffers with each parameter's dtype.
+
+        Called after a model-wide cast (``Module.to``): a warm
+        optimizer's moments must not keep feeding fp64 state into fp32
+        steps (or vice versa).
+        """
+        for i, p in enumerate(self.params):
+            self._cast_buffers(i, p.data.dtype)
+        return self
+
+    def _cast_buffers(self, i: int, dtype: np.dtype) -> None:
+        """Cast parameter ``i``'s state buffers (base class: none)."""
+
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -48,6 +62,10 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def _cast_buffers(self, i: int, dtype: np.dtype) -> None:
+        if self._velocity[i] is not None:
+            self._velocity[i] = self._velocity[i].astype(dtype, copy=False)
 
     def step(self) -> None:
         for i, p in enumerate(self.params):
@@ -82,6 +100,11 @@ class Adam(Optimizer):
         self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
         self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
         self._t = 0
+
+    def _cast_buffers(self, i: int, dtype: np.dtype) -> None:
+        if self._m[i] is not None:
+            self._m[i] = self._m[i].astype(dtype, copy=False)
+            self._v[i] = self._v[i].astype(dtype, copy=False)
 
     def step(self) -> None:
         self._t += 1

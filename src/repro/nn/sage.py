@@ -41,13 +41,16 @@ class SAGELayer(Module):
         out_features: int,
         rng: np.random.Generator,
         bias: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         # W acts on concat(z, h): shape (2*in, out).
-        self.weight = Parameter(xavier_uniform((2 * in_features, out_features), rng).data)
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.weight = Parameter(
+            xavier_uniform((2 * in_features, out_features), rng, dtype=dtype).data
+        )
+        self.bias = Parameter(np.zeros(out_features), dtype=dtype) if bias else None
 
     def forward(self, prop: SparseOp, h_all: Tensor, h_self: Tensor) -> Tensor:
         """Aggregate + update.

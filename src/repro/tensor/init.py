@@ -23,30 +23,38 @@ def make_rng(seed: Optional[int]) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
-    """Glorot/Xavier uniform init — the DGL default for SAGEConv."""
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0, dtype=None
+) -> Tensor:
+    """Glorot/Xavier uniform init — the DGL default for SAGEConv.
+
+    The draw itself is dtype-independent (the fp32 and fp64 paths see
+    identical RNG streams); only the stored parameter is cast.
+    """
     fan_in, fan_out = _fans(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True, dtype=dtype)
 
 
-def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+def xavier_normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0, dtype=None
+) -> Tensor:
     """Glorot-normal initialised parameter tensor."""
     fan_in, fan_out = _fans(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True, dtype=dtype)
 
 
-def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> Tensor:
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, dtype=None) -> Tensor:
     """He-uniform initialised parameter tensor (ReLU fan-in scaling)."""
     fan_in, _ = _fans(shape)
     bound = math.sqrt(3.0 / fan_in)
-    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True, dtype=dtype)
 
 
-def zeros(shape: Tuple[int, ...]) -> Tensor:
+def zeros(shape: Tuple[int, ...], dtype=None) -> Tensor:
     """Zero-initialised parameter tensor (biases)."""
-    return Tensor(np.zeros(shape), requires_grad=True)
+    return Tensor(np.zeros(shape), requires_grad=True, dtype=dtype)
 
 
 def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:

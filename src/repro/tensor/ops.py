@@ -141,7 +141,9 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep) / keep
+    # The Bernoulli draw is dtype-independent (the RNG stream is shared
+    # across precisions); only the mask adopts the tensor's dtype.
+    mask = ((rng.random(x.shape) < keep) / keep).astype(x.data.dtype, copy=False)
 
     def backward(g: np.ndarray):
         return ((x, g * mask),)
@@ -175,7 +177,7 @@ def scatter_rows(x: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     """
     x = as_tensor(x)
     index = np.asarray(index, dtype=np.int64)
-    out_data = np.zeros((num_rows,) + x.shape[1:], dtype=np.float64)
+    out_data = np.zeros((num_rows,) + x.shape[1:], dtype=x.data.dtype)
     np.add.at(out_data, index, x.data)
 
     def backward(g: np.ndarray):
@@ -201,17 +203,17 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) 
     ids = np.asarray(segment_ids, dtype=np.int64)
 
     # Numerically stable: subtract per-segment max (constant wrt grad).
-    seg_max = np.full(num_segments, -np.inf)
+    seg_max = np.full(num_segments, -np.inf, dtype=scores.data.dtype)
     np.maximum.at(seg_max, ids, scores.data)
     shifted = scores.data - seg_max[ids]
     e = np.exp(shifted)
-    denom = np.zeros(num_segments)
+    denom = np.zeros(num_segments, dtype=e.dtype)
     np.add.at(denom, ids, e)
     out_data = e / denom[ids]
 
     def backward(g: np.ndarray):
         # d softmax_i / d score_j = s_i (δ_ij - s_j) within each segment
-        weighted = np.zeros(num_segments)
+        weighted = np.zeros(num_segments, dtype=out_data.dtype)
         np.add.at(weighted, ids, g * out_data)
         return ((scores, out_data * (g - weighted[ids])),)
 

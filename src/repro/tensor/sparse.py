@@ -35,6 +35,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from .dtype import float_dtype_like, resolve_dtype
 from .tensor import Tensor, as_tensor
 
 __all__ = ["SparseOp", "SplitOperator", "spmm"]
@@ -48,16 +49,33 @@ class SparseOp:
     matrix:
         Any scipy sparse matrix; converted to CSR.  Treated as a
         constant: no gradients flow into the values.
+    dtype:
+        Optional float dtype of the values.  Omitted, a float32/float64
+        matrix keeps its dtype and anything else (ints, bools) lands on
+        the module default.
     """
 
     __slots__ = ("csr",)
 
-    def __init__(self, matrix: sp.spmatrix) -> None:
-        self.csr: sp.csr_matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    def __init__(self, matrix: sp.spmatrix, dtype=None) -> None:
+        if dtype is None:
+            dtype = float_dtype_like(matrix.dtype)
+        else:
+            dtype = resolve_dtype(dtype)
+        self.csr: sp.csr_matrix = sp.csr_matrix(matrix, dtype=dtype)
 
     @property
     def shape(self) -> Tuple[int, int]:
         return self.csr.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.csr.dtype
+
+    def astype(self, dtype) -> "SparseOp":
+        """Cast the operator values to ``dtype`` (no-op if already)."""
+        target = resolve_dtype(dtype)
+        return self if self.csr.dtype == target else SparseOp(self.csr, dtype=target)
 
     @property
     def nnz(self) -> int:
@@ -78,7 +96,7 @@ class SparseOp:
 
     def scale_columns(self, factors: np.ndarray) -> "SparseOp":
         """Return a copy with column ``j`` multiplied by ``factors[j]``."""
-        diag = sp.diags(np.asarray(factors, dtype=np.float64))
+        diag = sp.diags(np.asarray(factors, dtype=self.csr.dtype))
         return SparseOp(self.csr @ diag)
 
     def hstack(self, other: "SparseOp") -> "SparseOp":
@@ -190,6 +208,29 @@ class SplitOperator:
         return (self.inner.shape[0], self.inner.shape[1] + k)
 
     @property
+    def dtype(self) -> np.dtype:
+        """The operator's value dtype (set by the inner block)."""
+        return self.inner.dtype
+
+    def astype(self, dtype) -> "SplitOperator":
+        """Cast every block (and scale vector) to ``dtype``.
+
+        Returns ``self`` when nothing changes, so the cached degenerate
+        plans stay shared.
+        """
+        target = resolve_dtype(dtype)
+        if self.inner.dtype == target:
+            return self
+        return SplitOperator(
+            self.inner.astype(target),
+            self.boundary.astype(target) if self.boundary is not None else None,
+            self.kept_cols,
+            self.row_scale.astype(target) if self.row_scale is not None else None,
+            self.col_scale,
+            self._inner_t.astype(target) if self._inner_t is not None else None,
+        )
+
+    @property
     def inner_nnz(self) -> int:
         return self.inner.nnz
 
@@ -240,7 +281,7 @@ class SplitOperator:
                 stacked = self.inner.copy()
             if self.row_scale is not None:
                 stacked = sp.diags(self.row_scale) @ stacked
-            self._csr = sp.csr_matrix(stacked, dtype=np.float64)
+            self._csr = sp.csr_matrix(stacked, dtype=self.inner.dtype)
         return self._csr
 
     def toarray(self) -> np.ndarray:

@@ -23,6 +23,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .dtype import DTYPES, get_default_dtype, resolve_dtype
+
 __all__ = ["Tensor", "unbroadcast", "as_tensor", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -79,12 +81,18 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to ``np.ndarray``.  Stored as float64 by
-        default for numerically robust gradient checks; integer arrays
-        are kept as-is (they cannot require gradients).
+        Anything convertible to ``np.ndarray``.  Float arrays that are
+        already float32 or float64 keep their dtype; everything else
+        floating lands on the module default
+        (:func:`~repro.tensor.dtype.get_default_dtype`, float64 unless
+        changed).  Integer arrays are kept as-is (they cannot require
+        gradients).
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Optional explicit float dtype (float32/float64); overrides both
+        the array's dtype and the module default.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
@@ -93,17 +101,30 @@ class Tensor:
         self,
         data: ArrayLike,
         requires_grad: bool = False,
+        dtype=None,
         _parents: Tuple["Tensor", ...] = (),
         _op: str = "",
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        # Explicitly-dtyped numpy arrays/scalars keep their
+        # float32/float64; python lists/scalars (which numpy coerces to
+        # float64) follow the module default — the PyTorch convention.
+        from_ndarray = isinstance(data, (np.ndarray, np.generic))
         arr = np.asarray(data)
         if arr.dtype.kind in ("i", "u", "b"):
             if requires_grad:
                 raise ValueError("integer tensors cannot require gradients")
-        elif arr.dtype != np.float64:
-            arr = arr.astype(np.float64)
+            if dtype is not None:
+                arr = arr.astype(resolve_dtype(dtype))
+        elif dtype is not None:
+            target = resolve_dtype(dtype)
+            if arr.dtype != target:
+                arr = arr.astype(target)
+        elif arr.dtype not in DTYPES or not from_ndarray:
+            target = get_default_dtype()
+            if arr.dtype != target:
+                arr = arr.astype(target)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
@@ -143,6 +164,18 @@ class Tensor:
         """Return a new tensor sharing data but cut from the tape."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable cast to float32/float64 (no-op if already)."""
+        target = resolve_dtype(dtype)
+        if self.data.dtype == target:
+            return self
+        out_data = self.data.astype(target)
+
+        def backward(g: np.ndarray):
+            return ((self, g.astype(self.data.dtype)),)
+
+        return Tensor._make(out_data, (self,), "astype", backward)
+
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.shape}, op={self._op or 'leaf'}{grad_flag})"
@@ -158,7 +191,10 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            # Accumulate in the tensor's own dtype: an fp32 parameter
+            # must not grow an fp64 gradient (the optimizer would
+            # silently upcast it on the first step).
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -177,7 +213,7 @@ class Tensor:
                     "backward() without an explicit gradient requires a scalar tensor"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -231,8 +267,23 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
+    def _operand(self, other: ArrayLike) -> "Tensor":
+        """Coerce a binary-op operand to a Tensor.
+
+        Python/numpy *scalars* adopt this tensor's dtype (PyTorch-style
+        weak scalars): ``fp32_tensor * 0.5`` stays fp32 instead of
+        being promoted through a float64 0-d array.  Proper arrays keep
+        numpy's ordinary promotion rules.
+        """
+        if isinstance(other, Tensor):
+            return other
+        arr = np.asarray(other)
+        if arr.ndim == 0 and arr.dtype.kind in "fiu" and self.data.dtype.kind == "f":
+            return Tensor(arr.astype(self.data.dtype))
+        return Tensor(arr)
+
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data + other.data
 
         def backward(g: np.ndarray):
@@ -246,7 +297,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data - other.data
 
         def backward(g: np.ndarray):
@@ -258,10 +309,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other), "sub", backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) - self
+        return self._operand(other) - self
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data * other.data
 
         def backward(g: np.ndarray):
@@ -275,7 +326,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data / other.data
 
         def backward(g: np.ndarray):
@@ -287,7 +338,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), "div", backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) / self
+        return self._operand(other) / self
 
     def __neg__(self) -> "Tensor":
         def backward(g: np.ndarray):
@@ -306,7 +357,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), "pow", backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data @ other.data
 
         def backward(g: np.ndarray):
@@ -357,7 +408,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g_arr = np.expand_dims(g_arr, axis)
                 out = np.expand_dims(out, axis)
-            mask = (self.data == out).astype(np.float64)
+            mask = (self.data == out).astype(self.data.dtype)
             # Split gradient evenly among ties to keep the op well-defined.
             denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             return ((self, g_arr * mask / denom),)

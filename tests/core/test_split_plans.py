@@ -18,9 +18,12 @@ from repro.core import (
 from repro.graph.generators import SyntheticSpec, generate_graph
 from repro.graph.propagation import row_normalise
 from repro.partition import partition_graph
-from repro.tensor import SplitOperator
+from repro.tensor import SplitOperator, get_default_dtype
 
-ATOL = 1e-9
+# Dtype-appropriate tolerance: under REPRO_DTYPE=float32 (the CI fp32
+# job) both the split and the explicit reference operators are built in
+# fp32, so agreement is pinned at fp32 resolution instead of 1e-9.
+ATOL = 1e-9 if get_default_dtype() == np.float64 else 2e-4
 
 
 def runtime_for(seed, n=220, parts=3, method="metis"):

@@ -84,15 +84,20 @@ class TestFullGraphEquivalence:
 
 class TestCommunicationMetering:
     def test_forward_bytes_equal_eq3(self, small_graph, small_partition):
-        """Metered forward traffic == Σ_i |B_i| · Σ_ℓ d_ℓ · 4 bytes."""
+        """Metered forward traffic == Σ_i |B_i| · Σ_ℓ d_ℓ · scalar bytes.
+
+        The scalar width is the run's actual dtype (8 B for the fp64
+        default) — the ledger prices what the wire would ship.
+        """
         _, model = make_models(small_graph, layers=2, hidden=16)
         trainer = DistributedTrainer(
             small_graph, small_partition, model, FullBoundarySampler()
         )
         trainer.train_epoch()
+        assert trainer.comm.bytes_per_scalar == np.dtype(trainer.dtype).itemsize
         volume = communication_volume(small_graph.adj, small_partition)
         width_sum = sum(model.dims[:-1])  # layer input widths
-        expected = volume * width_sum * 4
+        expected = volume * width_sum * trainer.comm.bytes_per_scalar
         assert trainer.comm.total_bytes("forward") == expected
 
     def test_backward_mirrors_forward(self, small_graph, small_partition):

@@ -37,7 +37,7 @@ class TestMeteringProperties:
         t.train_epoch()
         runtime = t.runtime
         width_sum = sum(t.model.dims[:-1])
-        ceiling = runtime.total_boundary() * width_sum * 4
+        ceiling = runtime.total_boundary() * width_sum * t.comm.bytes_per_scalar
         assert t.comm.total_bytes("forward") <= ceiling
 
     @given(st.integers(0, 20))

@@ -28,6 +28,7 @@ from repro.dist.transport import (
     TransportError,
     ring_allreduce_scalars,
 )
+from repro.tensor import get_default_dtype
 
 # ----------------------------------------------------------------------
 # Scenario matrix: (name, num_parts, ops)
@@ -99,8 +100,14 @@ IDS = [name for name, _, _ in SCENARIOS]
 
 
 def _payload(src: int, op_index: int, n: int) -> np.ndarray:
-    """Deterministic payload so receivers can verify content."""
-    return (src * 1000.0 + op_index * 17.0) + np.arange(n, dtype=np.float64)
+    """Deterministic payload so receivers can verify content.
+
+    Built in the library default dtype: the data plane enforces that a
+    float payload's width matches what the (default-constructed)
+    transports meter, so the suite stays green under REPRO_DTYPE=float32.
+    """
+    base = (src * 1000.0 + op_index * 17.0) + np.arange(n, dtype=np.float64)
+    return base.astype(get_default_dtype())
 
 
 def _replay_worker(ep, ops):
@@ -198,7 +205,7 @@ class TestDataPlaneGuards:
         def worker(ep, _):
             if ep.rank == 0:
                 with pytest.raises(TransportError):
-                    ep.send(0, np.zeros(3), "x")
+                    ep.send(0, np.zeros(3, dtype=get_default_dtype()), "x")
             return True
 
         assert transport.launch(worker, timeout=15.0) == [True, True]
@@ -230,7 +237,7 @@ class TestDataPlaneGuards:
 
         def worker(ep, _):
             if ep.rank == 0:
-                ep.send(1, np.zeros(2), "a")
+                ep.send(1, np.zeros(2, dtype=get_default_dtype()), "a")
             else:
                 ep.recv(0, "b")
             return True
@@ -241,7 +248,10 @@ class TestDataPlaneGuards:
     def test_allreduce_bitwise_identical_across_ranks(self):
         transport = LocalTransport(3, recv_timeout=10.0)
         rng = np.random.default_rng(0)
-        data = [rng.standard_normal(37) for _ in range(3)]
+        data = [
+            rng.standard_normal(37).astype(get_default_dtype())
+            for _ in range(3)
+        ]
 
         def worker(ep, contribution):
             return ep.allreduce(contribution, "reduce")
@@ -249,8 +259,118 @@ class TestDataPlaneGuards:
         results = transport.launch(worker, data, timeout=30.0)
         assert (results[0] == results[1]).all()
         assert (results[0] == results[2]).all()
-        np.testing.assert_allclose(results[0], np.sum(data, axis=0), atol=1e-12)
+        atol = 1e-12 if get_default_dtype() == np.float64 else 1e-5
+        np.testing.assert_allclose(results[0], np.sum(data, axis=0), atol=atol)
 
     def test_simulated_has_no_data_plane(self):
         with pytest.raises(NotImplementedError):
             SimulatedCommunicator(2).launch(lambda ep, _: None)
+
+
+class TestDtypeConformance:
+    """The byte ledger is honest per dtype: an fp32 transport ships fp32
+    payloads (no fp64 upcast anywhere on the wire path) and meters
+    exactly 4 bytes per scalar; the fp64 default meters 8."""
+
+    def test_default_bytes_per_scalar_derives_from_dtype(self):
+        from repro.tensor import get_default_dtype
+
+        expected = np.dtype(get_default_dtype()).itemsize
+        assert SimulatedCommunicator(2).bytes_per_scalar == expected
+        assert LocalTransport(2).bytes_per_scalar == expected
+        assert MultiprocessTransport(2).bytes_per_scalar == expected
+        for cls in (SimulatedCommunicator, LocalTransport, MultiprocessTransport):
+            assert cls(2, dtype=np.float32).bytes_per_scalar == 4
+            assert cls(2, dtype=np.float64).bytes_per_scalar == 8
+            assert cls(2, bytes_per_scalar=2).bytes_per_scalar == 2  # override wins
+
+    @pytest.mark.parametrize("kind", ["local", "multiprocess"])
+    @pytest.mark.parametrize("algorithm", ["ring", "tree"])
+    def test_fp32_allreduce_preserves_dtype_and_meters_4_bytes(self, kind, algorithm):
+        m, n = 3, 37
+        cls = LocalTransport if kind == "local" else MultiprocessTransport
+        transport = cls(m, recv_timeout=30.0, dtype=np.float32)
+
+        def worker(ep, contribution):
+            out = ep.allreduce(contribution, "reduce", algorithm=algorithm)
+            return out, ep.meter.snapshot()
+
+        rng = np.random.default_rng(5)
+        data = [rng.standard_normal(n).astype(np.float32) for _ in range(m)]
+        results = transport.launch(worker, data, timeout=60.0)
+        outs = [r[0] for r in results]
+        # fp32 in, fp32 out — and bitwise identical across ranks.
+        assert all(o.dtype == np.float32 for o in outs)
+        assert (outs[0] == outs[1]).all() and (outs[0] == outs[2]).all()
+        np.testing.assert_allclose(
+            outs[0], np.sum(data, axis=0, dtype=np.float32), atol=1e-5
+        )
+        # Each rank meters the ring formula at 4 bytes per scalar.
+        per_rank = ring_allreduce_scalars(m, n) * 4
+        for _, (pairwise, tags) in results:
+            assert tags == {"reduce": per_rank}
+        assert transport.total_bytes("reduce") == m * per_rank
+
+    def test_fp32_payload_ships_fp32_through_processes(self):
+        """A pickled fp32 payload arrives fp32 — metered == shipped."""
+        transport = MultiprocessTransport(2, recv_timeout=30.0, dtype=np.float32)
+
+        def worker(ep, _):
+            if ep.rank == 0:
+                ep.send(1, np.arange(6, dtype=np.float32), "feat")
+                return None
+            got = ep.recv(0, "feat")
+            return str(got.dtype)
+
+        results = transport.launch(worker, timeout=60.0)
+        assert results[1] == "float32"
+        assert transport.total_bytes("feat") == 6 * 4
+
+    def test_fp32_ledger_is_half_of_fp64(self):
+        ops = SCENARIOS[-1][2]  # the epoch-like scenario
+        m = SCENARIOS[-1][1]
+        sim64 = SimulatedCommunicator(m, dtype=np.float64)
+        sim32 = SimulatedCommunicator(m, dtype=np.float32)
+        for comm in (sim64, sim32):
+            for op in ops:
+                if op[0] == "send":
+                    comm.send(*op[1:])
+                elif op[0] == "bcast":
+                    comm.broadcast(*op[1:])
+                else:
+                    comm.allreduce(op[1], op[2])
+        assert set(sim64._by_tag) == set(sim32._by_tag)
+        for tag, nbytes in sim64._by_tag.items():
+            assert nbytes == 2 * sim32._by_tag[tag], tag
+        assert (sim64.pairwise == 2 * sim32.pairwise).all()
+
+    def test_mismatched_float_payload_rejected(self):
+        """Metered == shipped is enforced on the data plane: an fp64
+        payload through an fp32-metered transport fails loudly."""
+        transport = LocalTransport(2, recv_timeout=5.0, dtype=np.float32)
+
+        def worker(ep, _):
+            if ep.rank == 0:
+                with pytest.raises(TransportError, match="metered"):
+                    ep.send(1, np.zeros(3, dtype=np.float64), "feat")
+            return True
+
+        assert transport.launch(worker, timeout=15.0) == [True, True]
+
+    def test_integer_payloads_exempt_from_width_guard(self):
+        """Index broadcasts (and integer allreduces) keep working on an
+        fp32 transport — only float widths are guarded."""
+        transport = LocalTransport(2, recv_timeout=10.0, dtype=np.float32)
+
+        def worker(ep, _):
+            ids = np.arange(5, dtype=np.int64)
+            if ep.rank == 0:
+                ep.send(1, ids, "sample_sync")
+            else:
+                got = ep.recv(0, "sample_sync")
+                np.testing.assert_array_equal(got, ids)
+            out = ep.allreduce(np.array([1, 2, 3]), "counts")
+            np.testing.assert_allclose(out, [2.0, 4.0, 6.0])
+            return True
+
+        assert transport.launch(worker, timeout=20.0) == [True, True]

@@ -141,3 +141,56 @@ class TestStateHelpers:
         load_optimizer_state(opt2, state)
         np.testing.assert_array_equal(opt2._m[0], opt._m[0])
         assert opt2._m[1] is None
+
+
+class TestDtypeRoundTrip:
+    """Loading across precisions must cast, not silently mix (fp64
+    checkpoint into an fp32 model used to leave fp64 params/moments)."""
+
+    def _model32(self, seed=0):
+        return GraphSAGEModel(8, 16, 4, num_layers=2, dropout=0.0,
+                              rng=np.random.default_rng(seed), dtype="float32")
+
+    def test_meta_records_dtype(self, tmp_path):
+        path = save_checkpoint(str(tmp_path / "ck64"), make_model(0))
+        with np.load(path, allow_pickle=False) as archive:
+            assert str(archive["__meta__/dtype"]) == "float64"
+        path32 = save_checkpoint(str(tmp_path / "ck32"), self._model32())
+        with np.load(path32, allow_pickle=False) as archive:
+            assert str(archive["__meta__/dtype"]) == "float32"
+
+    def test_fp64_checkpoint_into_fp32_model(self, tmp_path):
+        m64 = make_model(0)
+        opt64 = Adam(m64.parameters(), lr=0.01)
+        train_steps(m64, opt64)
+        path = save_checkpoint(str(tmp_path / "ck"), m64, opt64, epoch=3)
+
+        m32 = self._model32(seed=9)
+        opt32 = Adam(m32.parameters(), lr=0.5)
+        assert load_checkpoint(path, m32, opt32) == 3
+        for p in m32.parameters():
+            assert p.data.dtype == np.float32
+        for m, v in zip(opt32._m, opt32._v):
+            assert m is None or m.dtype == np.float32
+            assert v is None or v.dtype == np.float32
+        # Values survive the cast (to fp32 resolution).
+        for a, b in zip(m64.parameters(), m32.parameters()):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+        # And the next step stays fp32 end to end.
+        train_steps(m32, opt32, steps=1)
+        for p in m32.parameters():
+            assert p.data.dtype == np.float32
+            assert p.grad is None or p.grad.dtype == np.float32
+
+    def test_fp32_checkpoint_into_fp64_model(self, tmp_path):
+        m32 = self._model32(0)
+        opt32 = SGD(m32.parameters(), lr=0.01, momentum=0.9)
+        train_steps(m32, opt32)
+        path = save_checkpoint(str(tmp_path / "ck"), m32, opt32)
+        m64, opt64 = make_model(1), None
+        opt64 = SGD(m64.parameters(), lr=0.01, momentum=0.9)
+        load_checkpoint(path, m64, opt64)
+        for p in m64.parameters():
+            assert p.data.dtype == np.float64
+        for vel in opt64._velocity:
+            assert vel is None or vel.dtype == np.float64

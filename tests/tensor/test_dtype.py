@@ -1,0 +1,270 @@
+"""The dtype subsystem: defaults, preservation, gradient dtype.
+
+The regression this file pins down end to end: an fp32 tensor must stay
+fp32 through every op, its gradient must accumulate as fp32 (not
+silently materialise as fp64 and upcast the parameter on the first
+optimizer step), and the shared ``scalar_nbytes`` helper must report
+the width the wire actually ships.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import (
+    SparseOp,
+    SplitOperator,
+    Tensor,
+    default_dtype,
+    dropout,
+    gather_rows,
+    get_default_dtype,
+    relu,
+    resolve_dtype,
+    scalar_nbytes,
+    scatter_rows,
+    segment_softmax,
+    set_default_dtype,
+    softmax,
+    spmm,
+)
+from repro.nn import Adam, GraphSAGEModel, SGD, module_dtype
+from repro.nn import functional as F
+
+
+class TestDefaults:
+    def test_default_is_float64(self):
+        # (unless the session was started under REPRO_DTYPE=float32)
+        assert get_default_dtype() in (np.dtype(np.float64), np.dtype(np.float32))
+
+    def test_set_and_restore(self):
+        prev = set_default_dtype(np.float32)
+        try:
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0]).dtype == np.float32
+        finally:
+            set_default_dtype(prev)
+        assert get_default_dtype() == prev
+
+    def test_context_manager(self):
+        before = get_default_dtype()
+        with default_dtype("float32"):
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == before
+
+    def test_resolve(self):
+        assert resolve_dtype("float32") == np.float32
+        assert resolve_dtype(np.float64) == np.float64
+        assert resolve_dtype(None) == get_default_dtype()
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            resolve_dtype(np.float16)
+        with pytest.raises(ValueError):
+            set_default_dtype("int32")
+
+    def test_scalar_nbytes(self):
+        assert scalar_nbytes(np.float32) == 4
+        assert scalar_nbytes(np.float64) == 8
+        assert scalar_nbytes() == get_default_dtype().itemsize
+
+
+class TestGradDtypeRegression:
+    """tensor.py used to materialise .grad as float64 unconditionally."""
+
+    def test_grad_accumulates_in_data_dtype(self):
+        t = Tensor(np.ones((4, 3), dtype=np.float32), requires_grad=True)
+        (t * 2.0).sum().backward()
+        assert t.grad is not None and t.grad.dtype == np.float32
+
+    def test_second_accumulation_stays_fp32(self):
+        t = Tensor(np.ones(5, dtype=np.float32), requires_grad=True)
+        (t * 1.5).sum().backward()
+        (t * 2.5).sum().backward()
+        assert t.grad.dtype == np.float32
+
+    @pytest.mark.parametrize("opt_cls", [SGD, Adam])
+    def test_optimizer_step_does_not_upcast(self, opt_cls):
+        t = Tensor(np.ones(6, dtype=np.float32), requires_grad=True)
+        opt = opt_cls([t], lr=0.1)
+        (t * t).sum().backward()
+        opt.step()
+        assert t.data.dtype == np.float32
+        if isinstance(opt, Adam):
+            assert opt._m[0].dtype == np.float32
+            assert opt._v[0].dtype == np.float32
+
+    def test_explicit_backward_seed_is_cast(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        out = t * 3.0
+        out.backward(np.ones((2, 2)))  # fp64 seed
+        assert t.grad.dtype == np.float32
+
+
+class TestOpDtypePreservation:
+    def _t(self):
+        return Tensor(
+            np.linspace(-1, 1, 12, dtype=np.float32).reshape(4, 3),
+            requires_grad=True,
+        )
+
+    def test_arithmetic_with_python_scalars(self):
+        t = self._t()
+        out = ((t + 1) * 0.5 - 2) / 3.0
+        assert out.dtype == np.float32
+        out = 1.0 - t
+        assert out.dtype == np.float32
+        out = 1.0 / (t + 5.0)
+        assert out.dtype == np.float32
+        assert (t ** 2).dtype == np.float32
+
+    def test_activations_and_softmax(self):
+        t = self._t()
+        assert relu(t).dtype == np.float32
+        assert softmax(t).dtype == np.float32
+
+    def test_dropout_mask(self):
+        t = self._t()
+        out = dropout(t, 0.5, np.random.default_rng(0))
+        assert out.dtype == np.float32
+
+    def test_gather_scatter(self):
+        t = self._t()
+        idx = np.array([0, 2])
+        assert gather_rows(t, idx).dtype == np.float32
+        assert scatter_rows(gather_rows(t, idx), idx, 4).dtype == np.float32
+
+    def test_segment_softmax(self):
+        scores = Tensor(np.ones(6, dtype=np.float32), requires_grad=True)
+        ids = np.array([0, 0, 1, 1, 2, 2])
+        out = segment_softmax(scores, ids, 3)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert scores.grad.dtype == np.float32
+
+    def test_losses(self):
+        logits = Tensor(np.zeros((5, 3), dtype=np.float32), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0, 1]))
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert logits.grad.dtype == np.float32
+        logits2 = Tensor(np.zeros((5, 3), dtype=np.float32), requires_grad=True)
+        bce = F.bce_with_logits(logits2, np.zeros((5, 3)))
+        assert bce.dtype == np.float32
+
+    def test_astype_roundtrips_gradient(self):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = t.astype(np.float64)
+        assert out.dtype == np.float64
+        (out * 2.0).sum().backward()
+        assert t.grad.dtype == np.float32
+        np.testing.assert_allclose(t.grad, 2.0)
+
+
+class TestSparseDtype:
+    def _csr32(self, n=6):
+        return sp.random(
+            n, n, density=0.4, random_state=0, format="csr"
+        ).astype(np.float32)
+
+    def test_sparse_op_preserves_and_casts(self):
+        op = SparseOp(self._csr32())
+        assert op.dtype == np.float32
+        assert op.astype(np.float64).dtype == np.float64
+        assert op.astype(np.float32) is op
+
+    def test_spmm_fp32(self):
+        op = SparseOp(self._csr32())
+        h = Tensor(np.ones((6, 4), dtype=np.float32), requires_grad=True)
+        out = spmm(op, h)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert h.grad.dtype == np.float32
+
+    def test_split_operator_dtype_and_astype(self):
+        inner = self._csr32()
+        bd = sp.random(6, 3, density=0.5, random_state=1).astype(np.float32).tocsc()
+        op = SplitOperator(inner, bd, row_scale=np.ones(6, dtype=np.float32))
+        assert op.dtype == np.float32
+        h = np.ones((9, 2), dtype=np.float32)
+        assert op.matmul(h).dtype == np.float32
+        assert op.rmatmul(np.ones((6, 2), dtype=np.float32)).dtype == np.float32
+        assert op.csr.dtype == np.float32
+        op64 = op.astype(np.float64)
+        assert op64.dtype == np.float64
+        np.testing.assert_allclose(
+            op64.matmul(h.astype(np.float64)), op.matmul(h), atol=1e-6
+        )
+        assert op.astype(np.float32) is op
+
+
+class TestModelDtype:
+    def _model(self, dtype=None):
+        return GraphSAGEModel(5, 8, 3, 2, 0.0, np.random.default_rng(0), dtype=dtype)
+
+    def test_model_dtype_threads_to_parameters(self):
+        m = self._model("float32")
+        assert module_dtype(m) == np.float32
+        assert all(p.data.dtype == np.float32 for p in m.parameters())
+
+    def test_fp32_init_draws_match_fp64(self):
+        """One RNG stream: fp32 weights are the cast of the fp64 draws."""
+        a = self._model(None)
+        b = self._model("float32")
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(
+                pa.data.astype(np.float32), pb.data
+            )
+
+    def test_to_casts_in_place(self):
+        m = self._model(None)
+        m.to(np.float32)
+        assert module_dtype(m) == np.float32
+        assert m.dtype == np.float32
+
+    def test_load_state_dict_casts_to_param_dtype(self):
+        src = self._model(None)  # fp64 state
+        dst = self._model("float32")
+        dst.load_state_dict(src.state_dict())
+        assert module_dtype(dst) == np.float32
+
+
+class TestWarmOptimizerCast:
+    """Regression: Module.to + Optimizer.to must together retire every
+    fp64 buffer — a warm optimizer's moments used to survive the cast
+    and mix fp64 state into each subsequent step."""
+
+    def test_adam_moments_follow_param_cast(self):
+        t = Tensor(np.ones(4), requires_grad=True)  # fp64
+        opt = Adam([t], lr=0.1)
+        (t * t).sum().backward()
+        opt.step()
+        assert opt._m[0].dtype == np.float64
+        t.data = t.data.astype(np.float32)
+        opt.to()
+        assert opt._m[0].dtype == np.float32
+        assert opt._v[0].dtype == np.float32
+
+    def test_sgd_velocity_follows_param_cast(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        opt = SGD([t], lr=0.1, momentum=0.9)
+        (t * t).sum().backward()
+        opt.step()
+        t.data = t.data.astype(np.float32)
+        opt.to()
+        assert opt._velocity[0].dtype == np.float32
+
+
+class TestSymNormDtype:
+    """Regression: the self-loop identity (and the default-dtype path)
+    used to promote fp32 sym-norm operators back to fp64."""
+
+    def test_preserves_fp32_adjacency(self):
+        import scipy.sparse as sp
+        from repro.graph.propagation import mean_aggregation, sym_norm
+
+        adj = sp.random(8, 8, density=0.3, random_state=0).astype(np.float32)
+        adj = ((adj + adj.T) > 0).astype(np.float32).tocsr()
+        assert sym_norm(adj).dtype == np.float32
+        assert mean_aggregation(adj).dtype == np.float32
+        assert sym_norm(adj, dtype=np.float64).dtype == np.float64

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, as_tensor, no_grad, is_grad_enabled, unbroadcast
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    unbroadcast,
+)
 
 from ..util import check_gradients
 
@@ -12,11 +19,19 @@ class TestConstruction:
     def test_from_list(self):
         t = Tensor([[1.0, 2.0], [3.0, 4.0]])
         assert t.shape == (2, 2)
-        assert t.dtype == np.float64
+        assert t.dtype == get_default_dtype()
 
-    def test_float32_upcast(self):
+    def test_float32_preserved(self):
         t = Tensor(np.zeros(3, dtype=np.float32))
-        assert t.dtype == np.float64
+        assert t.dtype == np.float32
+
+    def test_float16_lands_on_default(self):
+        t = Tensor(np.zeros(3, dtype=np.float16))
+        assert t.dtype == get_default_dtype()
+
+    def test_explicit_dtype_casts(self):
+        t = Tensor(np.zeros(3), dtype=np.float32)
+        assert t.dtype == np.float32
 
     def test_int_tensor_allowed_without_grad(self):
         t = Tensor(np.array([1, 2, 3]))
