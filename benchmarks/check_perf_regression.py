@@ -1,0 +1,110 @@
+"""Guard the measured end-to-end epoch numbers against regressions.
+
+Compares a freshly produced ``BENCH_sampling.json`` (typically a
+``--smoke`` run on a CI box) against the committed baseline at the repo
+root.  Raw wall-clock milliseconds are useless across machines and
+problem sizes, so the comparison sticks to quantities that travel:
+
+* **the overlap invariant** — the pipelined schedule's blocked-in-recv
+  fraction must stay below the synchronous schedule's in the fresh run
+  (the measured form of the paper's communication-hiding claim; size-
+  and machine-independent), with a small ``--blocked-margin`` so a
+  noisy shared runner's scheduler jitter over a handful of smoke
+  epochs cannot flip an unrelated PR red — the *committed* baseline
+  holds the strict inequality;
+* **the overlap ratio** — fresh ``pipelined/synchronous`` epoch-time
+  ratio must not exceed the baseline's ratio by more than the
+  (deliberately generous) ``--ratio-tolerance`` factor, catching a
+  pipelined path that quietly stopped overlapping without flaking on
+  scheduler noise.
+
+Usage:
+    python benchmarks/check_perf_regression.py FRESH.json \
+        [--baseline BENCH_sampling.json] [--ratio-tolerance 1.75]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_sampling.json")
+
+
+def _load_e2e(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "e2e_epoch" not in data:
+        raise SystemExit(f"{path} has no 'e2e_epoch' section")
+    return data["e2e_epoch"]
+
+
+def _ratio(section: dict) -> float:
+    sync = float(section["synchronous_epoch_ms"])
+    pipe = float(section["pipelined_epoch_ms"])
+    if sync <= 0:
+        raise SystemExit("non-positive synchronous epoch time in e2e_epoch")
+    return pipe / sync
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly written BENCH_sampling.json")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="committed baseline (default: repo root)")
+    ap.add_argument("--ratio-tolerance", type=float, default=1.75,
+                    help="allowed multiplicative slack on the "
+                         "pipelined/synchronous epoch-time ratio")
+    ap.add_argument("--blocked-margin", type=float, default=0.10,
+                    help="additive noise margin on the blocked-fraction "
+                         "invariant — wide enough that scheduler jitter "
+                         "on a shared runner cannot flip it, so it only "
+                         "catches a clear inversion (0 = require "
+                         "strictly below, as the committed baseline "
+                         "does)")
+    args = ap.parse_args()
+
+    fresh = _load_e2e(args.fresh)
+    baseline = _load_e2e(args.baseline)
+
+    failures = []
+
+    sync_frac = float(fresh["synchronous_blocked_fraction"])
+    pipe_frac = float(fresh["pipelined_blocked_fraction"])
+    print(
+        f"blocked-in-recv: synchronous {sync_frac * 100:.1f}%  "
+        f"pipelined {pipe_frac * 100:.1f}%  "
+        f"(margin {args.blocked_margin * 100:.1f} pts)"
+    )
+    if not pipe_frac < sync_frac + args.blocked_margin:
+        failures.append(
+            "overlap invariant violated: pipelined blocked fraction "
+            f"{pipe_frac} is not below synchronous {sync_frac} "
+            f"(+{args.blocked_margin} margin)"
+        )
+
+    fresh_ratio = _ratio(fresh)
+    base_ratio = _ratio(baseline)
+    bound = base_ratio * args.ratio_tolerance
+    print(
+        f"pipelined/synchronous epoch ratio: fresh {fresh_ratio:.3f}  "
+        f"baseline {base_ratio:.3f}  allowed <= {bound:.3f}"
+    )
+    if fresh_ratio > bound:
+        failures.append(
+            f"overlap regression: fresh ratio {fresh_ratio:.3f} exceeds "
+            f"baseline {base_ratio:.3f} x tolerance {args.ratio_tolerance}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("e2e_epoch perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

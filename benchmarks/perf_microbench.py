@@ -191,6 +191,73 @@ def dtype_wire_ledger(parts: int, seed: int) -> dict:
     }
 
 
+def time_e2e_epoch(nodes: int, parts: int, epochs: int, seed: int) -> dict:
+    """Measured (not modeled) end-to-end epochs: synchronous vs
+    pipelined schedules on real multiprocess ranks.
+
+    A boundary-heavy random partition at p=1 (full boundary sets) is
+    the worst case for synchronous exchanges — every layer of every
+    rank blocks on its neighbours' compute.  The pipelined schedule
+    posts epoch t−1's layer inputs while epoch t's SpMM runs, so its
+    blocked-in-recv fraction must come out strictly below the
+    synchronous schedule's; wall times and blocked fractions land in
+    ``BENCH_sampling.json`` for the perf trajectory.
+    """
+    from repro.core import FullBoundarySampler
+    from repro.dist.executor import ProcessRankExecutor
+    from repro.graph.generators import SyntheticSpec, generate_graph
+    from repro.nn.models import GraphSAGEModel
+
+    spec = SyntheticSpec(
+        n=nodes, num_communities=16, avg_degree=12.0, feature_dim=64,
+        name="e2e-epoch",
+    )
+    graph = generate_graph(spec, seed=seed)
+    part = partition_graph(graph, parts, method="random", seed=seed)
+    out = {
+        "nodes": nodes,
+        "parts": parts,
+        "epochs": epochs,
+        "transport": "multiprocess",
+        "sampler": "full boundary (p=1)",
+    }
+    for schedule in ("synchronous", "pipelined"):
+        model = GraphSAGEModel(
+            graph.feature_dim, 64, graph.num_classes, 2, 0.0,
+            np.random.default_rng(3),
+        )
+        executor = ProcessRankExecutor(
+            graph, part, model, FullBoundarySampler(),
+            transport="multiprocess", seed=seed, schedule=schedule,
+            timeout=900.0,
+        )
+        result = executor.train(epochs)
+        # Steady state: skip the first epoch (pipelined warm-up runs
+        # synchronously; the synchronous schedule pays cold caches).
+        steady = 1 if epochs > 1 else 0
+        walls = result.history.wall_seconds[steady:]
+        out[f"{schedule}_epoch_ms"] = round(float(np.mean(walls)) * 1e3, 3)
+        out[f"{schedule}_blocked_fraction"] = round(
+            result.blocked_fraction(start_epoch=steady), 4
+        )
+        print(
+            f"e2e[{schedule:11s}] {out[f'{schedule}_epoch_ms']:9.2f} ms/epoch   "
+            f"blocked-in-recv {out[f'{schedule}_blocked_fraction'] * 100:5.1f}%"
+        )
+    out["overlap_speedup"] = round(
+        out["synchronous_epoch_ms"] / out["pipelined_epoch_ms"], 3
+    )
+    out["overlap_measured"] = (
+        out["pipelined_blocked_fraction"] < out["synchronous_blocked_fraction"]
+    )
+    if not out["overlap_measured"]:
+        print(
+            "WARNING: pipelined blocked-in-recv fraction is not below the "
+            "synchronous schedule's — overlap not measured on this host"
+        )
+    return out
+
+
 def _allreduce_bench_worker(ep, task):
     """One rank's timed AllReduce loop (module-level for process spawn)."""
     scalars, reps, algorithm = task
@@ -335,6 +402,13 @@ def main() -> int:
         parts=min(args.parts, 4),
         scalars=10_000 if args.smoke else 250_000,
         reps=3 if args.smoke else 10,
+    )
+
+    results["e2e_epoch"] = time_e2e_epoch(
+        nodes=2500 if args.smoke else 8000,
+        parts=min(args.parts, 4),
+        epochs=6 if args.smoke else 8,
+        seed=args.seed,
     )
 
     with open(args.out, "w") as fh:

@@ -45,7 +45,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..dist.cost_model import SECONDS_PER_SAMPLER_EDGE, ClusterSpec, epoch_time
+from ..dist.cost_model import (
+    SECONDS_PER_SAMPLER_EDGE,
+    ClusterSpec,
+    epoch_time,
+    layer_flops,
+)
 from ..graph.graph import Graph
 from ..nn import functional as F
 from ..nn.optim import Optimizer
@@ -177,9 +182,7 @@ class PipelinedTrainer(DistributedTrainer):
                 if layer_idx < len(self.model.layers) - 1:
                     out = relu(out)
                 new_h.append(out)
-                flops[i] += 3.0 * (
-                    2.0 * pl.prop.nnz * d_in + 4.0 * r.n_inner * d_in * d_out
-                )
+                flops[i] += layer_flops(pl.prop.nnz, r.n_inner, d_in, d_out)
             self._stale[layer_idx] = current
             h_ranks = new_h
 

@@ -38,6 +38,7 @@ from ..dist.cost_model import (
     ClusterSpec,
     EpochBreakdown,
     epoch_time,
+    layer_flops,
 )
 from ..graph.graph import Graph
 from ..nn import functional as F
@@ -218,9 +219,7 @@ class DistributedTrainer:
                 if layer_idx < len(self.model.layers) - 1:
                     out = relu(out)
                 new_h.append(out)
-                flops[i] += 3.0 * (
-                    2.0 * pl.prop.nnz * d_in + 4.0 * r.n_inner * d_in * d_out
-                )
+                flops[i] += layer_flops(pl.prop.nnz, r.n_inner, d_in, d_out)
             h_ranks = new_h
 
         # --- lines 12-13: loss and backward ----------------------------

@@ -14,8 +14,10 @@ multi-rank execution path:
   metering-only transport behind the in-process trainers;
 * :mod:`repro.dist.executor` — :class:`ProcessRankExecutor`, which
   ships each rank's shard to a worker and runs BNS training with real
-  boundary feature/gradient exchange (imported lazily: it pulls in the
-  trainer stack);
+  boundary feature/gradient exchange, on a synchronous or a
+  staleness-1 pipelined schedule with measured compute vs
+  blocked-in-recv seconds (imported lazily: it pulls in the trainer
+  stack);
 * :mod:`repro.dist.cost_model` — device/cluster specs, the per-epoch
   time model (compute / boundary communication / AllReduce / sampling)
   and the analytic system models for BNS, ROC and CAGNET used by the

@@ -46,10 +46,25 @@ __all__ = [
     "RTX2080TI_CLUSTER",
     "V100_MULTI_MACHINE",
     "epoch_time",
+    "layer_flops",
     "bns_epoch_model",
     "roc_epoch_model",
     "cagnet_epoch_model",
 ]
+
+
+def layer_flops(nnz: float, n_rows: float, d_in: int, d_out: int) -> float:
+    """Fwd+bwd FLOPs of one SAGE/GCN layer on one rank.
+
+    One SpMM over the rank's operator (``2·nnz·d_in``) plus the dense
+    self/neighbour transforms (``4·n_rows·d_in·d_out``), tripled for
+    the backward pass (~2x the forward).  The single source of truth
+    for per-rank FLOP accounting — the simulated trainers, the
+    pipelined trainer and the real-rank executor all price compute
+    through this helper, so modeled sync-vs-pipelined comparisons
+    cannot drift apart.
+    """
+    return 3.0 * (2.0 * float(nnz) * d_in + 4.0 * float(n_rows) * d_in * d_out)
 
 #: Wire/storage size the *analytic* system models price scalars at.
 #: The paper's testbeds train in fp32, so the Figure 4 / Table 6 style
@@ -259,7 +274,7 @@ def _sage_flops(n_rows: float, nnz: float, dims: Sequence[int]) -> float:
     """Fwd+bwd FLOPs of a GraphSAGE stack on one rank (×3 ≈ fwd + bwd)."""
     total = 0.0
     for d_in, d_out in zip(dims[:-1], dims[1:]):
-        total += 3.0 * (2.0 * nnz * d_in + 4.0 * n_rows * d_in * d_out)
+        total += layer_flops(nnz, n_rows, d_in, d_out)
     return total
 
 

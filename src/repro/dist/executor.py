@@ -28,6 +28,30 @@ boundary-sampled training with real exchanges:
   every rank, so the per-rank Adam replicas stay in lockstep without
   any further synchronisation.
 
+Two schedules run on this substrate:
+
+* ``schedule="synchronous"`` (default) — every layer's exchange blocks
+  before the layer's compute, Algorithm 1 verbatim;
+* ``schedule="pipelined"`` — the PipeGCN-style staleness-1 execution
+  of :class:`~repro.core.pipeline.PipelinedTrainer`, for real: after
+  the kept-id sync, each rank posts *every* layer's boundary features
+  from its previous-epoch layer inputs
+  (:meth:`~repro.dist.transport.Endpoint.post_exchange`) and computes
+  while they travel; boundary gradients harvested this epoch ship
+  during the backward descent and are injected next epoch at the rows
+  served then — the distributed image of the simulated trainer's
+  ghost-loss construction.  Epoch 0 warms up synchronously, like
+  PipeGCN's first iteration.  The bytes are identical either way —
+  staleness changes *when* traffic moves, not how much — so the
+  per-tag ledgers match :class:`~repro.core.pipeline.PipelinedTrainer`
+  byte for byte.
+
+Every rank additionally records, per epoch, its wall seconds and the
+seconds it spent blocked inside ``recv`` (the transport's
+``blocked_seconds`` counter) — so the overlap claim is *measured*, not
+modeled: the pipelined schedule's blocked-in-recv fraction lands in
+``BENCH_sampling.json:e2e_epoch`` next to the synchronous one.
+
 Byte metering is identical to the simulated run by construction: every
 worker meters its own traffic through the same
 :class:`~repro.dist.transport.ByteMeter` rules, and the per-epoch
@@ -60,9 +84,13 @@ from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam
 from ..partition.types import PartitionResult
 from ..tensor import Tensor, concat_rows, gather_rows, no_grad, relu
+from .cost_model import layer_flops
 from .transport import Endpoint, resolve_transport
 
-__all__ = ["ProcessRankExecutor", "DistTrainResult"]
+__all__ = ["ProcessRankExecutor", "DistTrainResult", "SCHEDULES"]
+
+#: Execution schedules the worker loop understands.
+SCHEDULES = ("synchronous", "pipelined")
 
 
 # ----------------------------------------------------------------------
@@ -89,6 +117,7 @@ class _RankTask:
     multilabel: bool
     allreduce_algorithm: str
     dtype: str = "float64"
+    schedule: str = "synchronous"
 
 
 @dataclass
@@ -102,6 +131,9 @@ class _RankOutcome:
     pairwise: List[np.ndarray]
     grad_flat: np.ndarray
     state: Dict[str, np.ndarray]
+    epoch_seconds: List[float] = field(default_factory=list)
+    blocked_seconds: List[float] = field(default_factory=list)
+    flops: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -112,6 +144,23 @@ class DistTrainResult:
     by_tag: List[Dict[str, int]] = field(default_factory=list)
     pairwise: List[np.ndarray] = field(default_factory=list)
     grad_flat: Optional[np.ndarray] = None
+    schedule: str = "synchronous"
+    #: ``[epoch][rank]`` wall seconds of each rank's epoch body.
+    epoch_wall_seconds: List[List[float]] = field(default_factory=list)
+    #: ``[epoch][rank]`` seconds each rank spent blocked inside recv.
+    blocked_recv_seconds: List[List[float]] = field(default_factory=list)
+    #: ``[epoch][rank]`` modeled forward+backward FLOPs (layer_flops).
+    flops: List[List[float]] = field(default_factory=list)
+    launch_seconds: float = 0.0
+
+    def blocked_fraction(self, start_epoch: int = 0) -> float:
+        """Share of rank-seconds spent blocked in recv from
+        ``start_epoch`` on (skip 1 to exclude the pipelined warm-up)."""
+        wall = sum(sum(epoch) for epoch in self.epoch_wall_seconds[start_epoch:])
+        blocked = sum(
+            sum(epoch) for epoch in self.blocked_recv_seconds[start_epoch:]
+        )
+        return blocked / wall if wall > 0 else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -153,119 +202,258 @@ def _resolve_requests(
     return serve
 
 
-def _run_rank(ep: Endpoint, task: _RankTask) -> _RankOutcome:
-    """One rank's whole training loop (runs inside a thread or process)."""
-    rank_data = task.rank_data
-    model = _build_model(task)
-    model.train()
-    optimizer = Adam(model.parameters(), lr=task.lr)
-    sample_rng = np.random.default_rng(task.sample_seed)
-    dropout_rng = np.random.default_rng(task.dropout_seed)
-    peers = [j for j in range(task.num_parts) if j != task.rank]
-    n_inner = rank_data.n_inner
-    dims = task.model_dims
-    num_layers = len(model.layers)
+class _RankLoop:
+    """One rank's training state; the epoch bodies of both schedules."""
 
-    outcome = _RankOutcome(
-        rank=task.rank, local_losses=[], sampling_seconds=[],
-        by_tag=[], pairwise=[], grad_flat=np.zeros(0), state={},
-    )
+    def __init__(self, ep: Endpoint, task: _RankTask) -> None:
+        self.ep = ep
+        self.task = task
+        self.rank_data = task.rank_data
+        self.model = _build_model(task)
+        self.model.train()
+        self.optimizer = Adam(self.model.parameters(), lr=task.lr)
+        self.sample_rng = np.random.default_rng(task.sample_seed)
+        self.dropout_rng = np.random.default_rng(task.dropout_seed)
+        self.peers = [j for j in range(task.num_parts) if j != task.rank]
+        self.n_inner = self.rank_data.n_inner
+        self.dims = task.model_dims
+        self.num_layers = len(self.model.layers)
+        # Pipelined (staleness-1) state: my layer inputs of the
+        # previous epoch (what neighbours consume this epoch), the rows
+        # I served then, and the boundary gradients peers returned for
+        # the rows *they* were served.
+        self._stale_x: List[Optional[np.ndarray]] = [None] * self.num_layers
+        self._prev_serve_rows: Dict[int, np.ndarray] = {}
+        self._stale_grad_in: List[Tuple[int, int, np.ndarray]] = []
 
-    for _epoch in range(task.epochs):
-        ep.meter.reset()
-        model.train()
-
-        # -- lines 4-7: sample locally, broadcast kept ids -------------
-        plan = task.sampler.plan(rank_data, sample_rng)
-        kept_ids = rank_data.boundary[plan.kept_positions]
-        incoming = ep.exchange(
-            {j: kept_ids for j in peers}, peers, tag="sample_sync"
+    # -- shared epoch pieces -------------------------------------------
+    def sample_and_sync(self):
+        """Lines 4-7: sample locally, broadcast kept ids, resolve."""
+        plan = self.task.sampler.plan(self.rank_data, self.sample_rng)
+        kept_ids = self.rank_data.boundary[plan.kept_positions]
+        incoming = self.ep.exchange(
+            {j: kept_ids for j in self.peers}, self.peers, tag="sample_sync"
         )
-        serve_rows = _resolve_requests(rank_data, incoming)
-        groups = list(rank_data.boundary_groups(plan.kept_positions))
+        serve_rows = _resolve_requests(self.rank_data, incoming)
+        groups = list(self.rank_data.boundary_groups(plan.kept_positions))
+        return plan, serve_rows, groups
 
-        # -- lines 8-11: layered forward with real exchanges -----------
-        x = task.features
-        segments = []  # (h_leaf, boundary leaves, out) per layer
-        for layer_idx, layer in enumerate(model.layers):
-            sends = {
-                j: x[rows] for j, rows in serve_rows.items() if rows.size
-            }
-            expect = [owner for owner, _pos, _rows in groups]
-            received = ep.exchange(sends, expect, tag="forward")
+    def forward_segment(self, plan, groups, x, received, layer_idx):
+        """One layer on ``[own block ; gathered boundary blocks]``.
 
-            # Cut the tape at the layer input: the segment's leaves are
-            # this rank's own features plus the gathered remote blocks.
-            h_leaf = Tensor(x, requires_grad=True)
-            parts: List[Tensor] = [h_leaf]
-            leaves = []
-            for owner, _pos, owner_rows in groups:
-                block = Tensor(received[owner], requires_grad=True)
-                leaves.append((owner, owner_rows, block))
-                parts.append(block)
-            h_all = concat_rows(parts) if len(parts) > 1 else h_leaf
-            h_all = model.dropout(h_all, dropout_rng)
-            h_self = h_all[0:n_inner]
-            out = layer(plan.prop, h_all, h_self)
-            if layer_idx < num_layers - 1:
-                out = relu(out)
-            segments.append((h_leaf, leaves, out))
-            x = out.numpy()
+        Cuts the tape at the layer input: the segment's leaves are this
+        rank's own features plus the gathered remote blocks.
+        """
+        h_leaf = Tensor(x, requires_grad=True)
+        parts: List[Tensor] = [h_leaf]
+        leaves = []
+        for owner, _pos, owner_rows in groups:
+            block = Tensor(received[owner], requires_grad=True)
+            leaves.append((owner, owner_rows, block))
+            parts.append(block)
+        h_all = concat_rows(parts) if len(parts) > 1 else h_leaf
+        h_all = self.model.dropout(h_all, self.dropout_rng)
+        h_self = h_all[0:self.n_inner]
+        out = self.model.layers[layer_idx](plan.prop, h_all, h_self)
+        if layer_idx < self.num_layers - 1:
+            out = relu(out)
+        return h_leaf, leaves, out
 
-        # -- lines 12-13: local loss ------------------------------------
-        loss_local = None
-        if rank_data.train_local.size:
-            logits = gather_rows(segments[-1][2], rank_data.train_local)
-            labels = rank_data.labels[rank_data.train_local]
-            if task.multilabel:
-                part = F.bce_with_logits(logits, labels, reduction="sum")
-            else:
-                part = F.cross_entropy(logits, labels, reduction="sum")
-            loss_local = part * (1.0 / task.loss_denom)
+    def local_loss(self, segments):
+        """Lines 12-13: this rank's share of the global objective."""
+        rank_data, task = self.rank_data, self.task
+        if not rank_data.train_local.size:
+            return None
+        logits = gather_rows(segments[-1][2], rank_data.train_local)
+        labels = rank_data.labels[rank_data.train_local]
+        if task.multilabel:
+            part = F.bce_with_logits(logits, labels, reduction="sum")
+        else:
+            part = F.cross_entropy(logits, labels, reduction="sum")
+        return part * (1.0 / task.loss_denom)
 
-        # Layer-synchronous backward: run each tape segment top-down,
-        # returning boundary-feature gradients to their owners between
-        # segments so cross-rank paths are complete before descending.
-        optimizer.zero_grad()
-        seed: Optional[np.ndarray] = None
-        for layer_idx in range(num_layers - 1, -1, -1):
-            h_leaf, leaves, out = segments[layer_idx]
-            d_in = dims[layer_idx]
-            if layer_idx == num_layers - 1:
-                if loss_local is not None:
-                    loss_local.backward()
-            else:
-                out.backward(seed)
+    def segment_grads(self, leaves, d_in):
+        """Per-owner gradients w.r.t. the gathered boundary blocks."""
+        sends: Dict[int, np.ndarray] = {}
+        for owner, owner_rows, block in leaves:
+            grad = block.grad
+            if grad is None:
+                grad = np.zeros((owner_rows.size, d_in), dtype=block.dtype)
+            sends[owner] = grad
+        return sends
 
-            sends = {}
-            for owner, owner_rows, block in leaves:
-                grad = block.grad
-                if grad is None:
-                    grad = np.zeros((owner_rows.size, d_in), dtype=block.dtype)
-                sends[owner] = grad
-            expect = [j for j, rows in serve_rows.items() if rows.size]
-            received = ep.exchange(sends, expect, tag="backward")
-
-            grad_h = h_leaf.grad
-            if grad_h is None:
-                grad_h = np.zeros((n_inner, d_in), dtype=h_leaf.dtype)
-            for j in expect:
-                grad_h[serve_rows[j]] += received[j]
-            seed = grad_h
-
-        # -- lines 14-15: real AllReduce + local replica update ---------
-        params = model.parameters()
+    def reduce_and_step(self) -> np.ndarray:
+        """Lines 14-15: real AllReduce + local replica update."""
+        params = self.model.parameters()
         flat = np.concatenate([
             (p.grad if p.grad is not None else np.zeros_like(p.data)).ravel()
             for p in params
         ]) if params else np.zeros(0)
-        summed = ep.allreduce(flat, "reduce", algorithm=task.allreduce_algorithm)
+        summed = self.ep.allreduce(
+            flat, "reduce", algorithm=self.task.allreduce_algorithm
+        )
         offset = 0
         for p in params:
             p.grad = summed[offset:offset + p.data.size].reshape(p.data.shape)
             offset += p.data.size
-        optimizer.step()
+        self.optimizer.step()
+        return summed
 
+    def epoch_flops(self, plan) -> float:
+        """Modeled fwd+bwd FLOPs of this rank's epoch (shared helper —
+        the same accounting the simulated trainers record)."""
+        return sum(
+            layer_flops(plan.prop.nnz, self.n_inner,
+                        self.dims[l], self.dims[l + 1])
+            for l in range(self.num_layers)
+        )
+
+    # -- synchronous epoch (Algorithm 1 verbatim) ----------------------
+    def synchronous_epoch(self):
+        ep = self.ep
+        plan, serve_rows, groups = self.sample_and_sync()
+        expect_owners = [owner for owner, _pos, _rows in groups]
+        serve_peers = [j for j, rows in serve_rows.items() if rows.size]
+
+        # Lines 8-11: layered forward, each exchange gating its layer.
+        x = self.task.features
+        segments = []
+        for layer_idx in range(self.num_layers):
+            sends = {j: x[serve_rows[j]] for j in serve_peers}
+            received = ep.exchange(sends, expect_owners, tag="forward")
+            seg = self.forward_segment(plan, groups, x, received, layer_idx)
+            segments.append(seg)
+            x = seg[2].numpy()
+
+        # Layer-synchronous backward: run each tape segment top-down,
+        # returning boundary-feature gradients to their owners between
+        # segments so cross-rank paths are complete before descending.
+        loss_local = self.local_loss(segments)
+        self.optimizer.zero_grad()
+        seed: Optional[np.ndarray] = None
+        for layer_idx in range(self.num_layers - 1, -1, -1):
+            h_leaf, leaves, out = segments[layer_idx]
+            d_in = self.dims[layer_idx]
+            if layer_idx == self.num_layers - 1:
+                if loss_local is not None:
+                    loss_local.backward()
+            else:
+                out.backward(seed)
+            received = ep.exchange(
+                self.segment_grads(leaves, d_in), serve_peers, tag="backward"
+            )
+            grad_h = h_leaf.grad
+            if grad_h is None:
+                grad_h = np.zeros((self.n_inner, d_in), dtype=h_leaf.dtype)
+            for j in serve_peers:
+                grad_h[serve_rows[j]] += received[j]
+            seed = grad_h
+
+        return plan, loss_local, self.reduce_and_step()
+
+    # -- pipelined epoch (staleness-1, measured overlap) ---------------
+    def pipelined_epoch(self):
+        ep = self.ep
+        plan, serve_rows, groups = self.sample_and_sync()
+        expect_owners = [owner for owner, _pos, _rows in groups]
+        serve_peers = [j for j, rows in serve_rows.items() if rows.size]
+        warm = all(x is not None for x in self._stale_x)
+
+        # Post every layer's boundary features the moment the requests
+        # are known: the payloads are last epoch's layer inputs, so
+        # nothing gates on this epoch's compute — epoch t's exchange
+        # rides on epoch t's SpMM (the PipeGCN overlap, for real).
+        fwd_handles = None
+        if warm:
+            fwd_handles = [
+                ep.post_exchange(
+                    {j: self._stale_x[l][serve_rows[j]] for j in serve_peers},
+                    expect_owners,
+                    tag="forward",
+                )
+                for l in range(self.num_layers)
+            ]
+
+        x = self.task.features
+        segments = []
+        for layer_idx in range(self.num_layers):
+            # Snapshot this epoch's layer input: neighbours consume it
+            # next epoch (staleness 1).
+            self._stale_x[layer_idx] = x
+            if warm:
+                received = ep.complete_exchange(fwd_handles[layer_idx])
+            else:
+                # Warm-up epoch: serve fresh features synchronously,
+                # like PipeGCN's first iteration.
+                sends = {j: x[serve_rows[j]] for j in serve_peers}
+                received = ep.exchange(sends, expect_owners, tag="forward")
+            seg = self.forward_segment(plan, groups, x, received, layer_idx)
+            segments.append(seg)
+            x = seg[2].numpy()
+
+        loss_local = self.local_loss(segments)
+        self.optimizer.zero_grad()
+        seed: Optional[np.ndarray] = None
+        bwd_handles = []
+        for layer_idx in range(self.num_layers - 1, -1, -1):
+            h_leaf, leaves, out = segments[layer_idx]
+            d_in = self.dims[layer_idx]
+            if layer_idx == self.num_layers - 1:
+                if loss_local is not None:
+                    loss_local.backward()
+            else:
+                out.backward(seed)
+            # Gradients w.r.t. the stale blocks gathered THIS epoch
+            # ship now (overlapping the rest of the descent) but are
+            # consumed next epoch — staleness 1 on the gradient path.
+            bwd_handles.append(ep.post_exchange(
+                self.segment_grads(leaves, d_in), serve_peers, tag="backward"
+            ))
+            # Ghost-loss delivery of LAST epoch's returned gradients:
+            # d/dh ⟨stop_grad(g), h[rows]⟩ injects exactly g into my
+            # current layer input at the rows I served then, and flows
+            # down the remaining segments like any other upstream term.
+            grad_h = h_leaf.grad
+            if grad_h is None:
+                grad_h = np.zeros((self.n_inner, d_in), dtype=h_leaf.dtype)
+            for rec_layer, src, grad in self._stale_grad_in:
+                if rec_layer == layer_idx:
+                    grad_h[self._prev_serve_rows[src]] += grad
+            seed = grad_h
+
+        # Drain this epoch's boundary gradients — peers posted them
+        # top-down, so completing the handles in posting order matches
+        # the channel order — and stash them for next epoch's delivery.
+        self._stale_grad_in = []
+        for k, handle in enumerate(bwd_handles):
+            layer_idx = self.num_layers - 1 - k
+            for src, grad in self.ep.complete_exchange(handle).items():
+                self._stale_grad_in.append((layer_idx, src, grad))
+        self._prev_serve_rows = serve_rows
+
+        return plan, loss_local, self.reduce_and_step()
+
+
+def _run_rank(ep: Endpoint, task: _RankTask) -> _RankOutcome:
+    """One rank's whole training loop (runs inside a thread or process)."""
+    loop = _RankLoop(ep, task)
+    epoch_fn = (
+        loop.pipelined_epoch if task.schedule == "pipelined"
+        else loop.synchronous_epoch
+    )
+    outcome = _RankOutcome(
+        rank=task.rank, local_losses=[], sampling_seconds=[],
+        by_tag=[], pairwise=[], grad_flat=np.zeros(0), state={},
+    )
+    for _epoch in range(task.epochs):
+        ep.meter.reset()
+        loop.model.train()
+        blocked0 = ep.blocked_seconds
+        t0 = time.perf_counter()
+        plan, loss_local, summed = epoch_fn()
+        outcome.epoch_seconds.append(time.perf_counter() - t0)
+        outcome.blocked_seconds.append(ep.blocked_seconds - blocked0)
+        outcome.flops.append(loop.epoch_flops(plan))
         outcome.local_losses.append(
             float(loss_local.item()) if loss_local is not None else 0.0
         )
@@ -274,8 +462,7 @@ def _run_rank(ep: Endpoint, task: _RankTask) -> _RankOutcome:
         outcome.pairwise.append(pairwise)
         outcome.by_tag.append(by_tag)
         outcome.grad_flat = summed
-
-    outcome.state = model.state_dict()
+    outcome.state = loop.model.state_dict()
     return outcome
 
 
@@ -296,12 +483,25 @@ class ProcessRankExecutor:
         :class:`~repro.dist.transport.MultiprocessTransport`, or one of
         the strings ``"local"`` / ``"multiprocess"`` (default
         ``"multiprocess"``).
+    schedule:
+        ``"synchronous"`` (default) blocks on every layer's exchange;
+        ``"pipelined"`` runs the PipeGCN-style staleness-1 schedule —
+        epoch *t−1*'s layer inputs serve the neighbours while epoch
+        *t*'s local compute runs, stale boundary gradients delivered
+        one epoch late.  A seeded pipelined run matches
+        :class:`~repro.core.pipeline.PipelinedTrainer` at
+        dtype-appropriate tolerance with byte-identical metering.
     allreduce_algorithm:
         ``"ring"`` (default) or ``"tree"`` — how gradient data actually
         moves; metering is the ring model either way.
     timeout:
         Deadline in seconds for the whole launch; a hung worker fails
-        fast instead of stalling the caller.
+        fast instead of stalling the caller.  A transport built by the
+        executor (``transport`` given as ``None`` or a string) also
+        uses this as its per-receive window; a :class:`Transport`
+        *instance* keeps its own ``recv_timeout`` — size it for the
+        slowest single receive you expect (peer death is detected by
+        EOF regardless).
     dtype:
         Precision of the run; taken from the model when omitted (as for
         :class:`~repro.core.trainer.DistributedTrainer`).  Every rank's
@@ -320,6 +520,7 @@ class ProcessRankExecutor:
         lr: float = 0.01,
         seed: int = 0,
         aggregation: str = "mean",
+        schedule: str = "synchronous",
         allreduce_algorithm: str = "ring",
         timeout: float = 300.0,
         dtype=None,
@@ -333,6 +534,10 @@ class ProcessRankExecutor:
                 "ProcessRankExecutor supports GraphSAGEModel/GCNModel, "
                 f"got {type(model).__name__}"
             )
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
+            )
         self.dtype = resolve_model_dtype(model, dtype)
         self.graph = graph
         self.runtime = PartitionRuntime(
@@ -342,12 +547,18 @@ class ProcessRankExecutor:
         self.sampler = sampler or FullBoundarySampler()
         self.lr = lr
         self.seed = seed
+        self.schedule = schedule
         self.allreduce_algorithm = allreduce_algorithm
         self.timeout = timeout
         m = partition.num_parts
+        # A transport built here inherits the executor's deadline as
+        # its per-recv window: a caller raising `timeout` for long
+        # epochs must not be cut short by the transport default.  (A
+        # transport passed in keeps its own recv_timeout; dead peers
+        # surface via EOF either way.)
         self.transport = resolve_transport(
             "multiprocess" if transport is None else transport,
-            m, dtype=self.dtype,
+            m, dtype=self.dtype, recv_timeout=timeout,
         )
         # Mirror DistributedTrainer's RNG derivation exactly so seeded
         # runs draw identical boundary samples.
@@ -387,6 +598,7 @@ class ProcessRankExecutor:
                 multilabel=bool(self.graph.multilabel),
                 allreduce_algorithm=self.allreduce_algorithm,
                 dtype=str(self.dtype),
+                schedule=self.schedule,
             )
             for r in self.runtime.ranks
         ]
@@ -421,6 +633,9 @@ class ProcessRankExecutor:
         history = TrainHistory()
         by_tag_epochs: List[Dict[str, int]] = []
         pairwise_epochs: List[np.ndarray] = []
+        epoch_wall: List[List[float]] = []
+        blocked: List[List[float]] = []
+        flops: List[List[float]] = []
         for e in range(epochs):
             history.loss.append(sum(o.local_losses[e] for o in outcomes))
             history.sampling_seconds.append(
@@ -435,13 +650,23 @@ class ProcessRankExecutor:
                 np.sum([o.pairwise[e] for o in outcomes], axis=0)
             )
             history.comm_bytes.append(sum(merged_tags.values()))
-        history.wall_seconds = [wall / max(epochs, 1)] * epochs
+            epoch_wall.append([o.epoch_seconds[e] for o in outcomes])
+            blocked.append([o.blocked_seconds[e] for o in outcomes])
+            flops.append([o.flops[e] for o in outcomes])
+            # The epoch is paced by its slowest rank — a measured
+            # epoch time, not the launch wall smeared over epochs.
+            history.wall_seconds.append(max(epoch_wall[-1]))
 
         self.result = DistTrainResult(
             history=history,
             by_tag=by_tag_epochs,
             pairwise=pairwise_epochs,
             grad_flat=outcomes[0].grad_flat,
+            schedule=self.schedule,
+            epoch_wall_seconds=epoch_wall,
+            blocked_recv_seconds=blocked,
+            flops=flops,
+            launch_seconds=wall,
         )
         return self.result
 

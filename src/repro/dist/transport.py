@@ -49,7 +49,9 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 import traceback
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +61,7 @@ from ..tensor.dtype import float_dtype_for_nbytes, resolve_dtype, scalar_nbytes
 __all__ = [
     "ByteMeter",
     "Endpoint",
+    "ExchangeHandle",
     "LocalTransport",
     "MultiprocessTransport",
     "Transport",
@@ -69,26 +72,31 @@ __all__ = [
 
 
 def resolve_transport(transport, num_parts: int, bytes_per_scalar: Optional[int] = None,
-                      dtype=None):
+                      dtype=None, recv_timeout: Optional[float] = None):
     """Normalise a trainer/executor ``transport=`` argument.
 
     ``None`` yields a fresh metering-only
     :class:`~repro.dist.comm.SimulatedCommunicator`; the strings
     ``"local"`` / ``"multiprocess"`` build the matching data-moving
     transport; an existing :class:`Transport` is validated against the
-    partition's rank count and returned as-is (its own metering
-    configuration wins).  A freshly built transport meters
+    partition's rank count and returned as-is (its own metering and
+    timeout configuration wins).  A freshly built transport meters
     ``scalar_nbytes(dtype)`` per scalar unless ``bytes_per_scalar``
-    overrides it explicitly.
+    overrides it explicitly, and waits ``recv_timeout`` seconds per
+    receive when given (callers raising their launch deadline — e.g.
+    ``ProcessRankExecutor(timeout=...)`` — widen the per-recv window
+    with it; peer *death* is detected by EOF regardless).
     """
     if transport is None or transport == "simulated":
         from .comm import SimulatedCommunicator
 
         return SimulatedCommunicator(num_parts, bytes_per_scalar, dtype=dtype)
+    kwargs = {} if recv_timeout is None else {"recv_timeout": float(recv_timeout)}
     if transport == "local":
-        return LocalTransport(num_parts, bytes_per_scalar, dtype=dtype)
+        return LocalTransport(num_parts, bytes_per_scalar, dtype=dtype, **kwargs)
     if transport == "multiprocess":
-        return MultiprocessTransport(num_parts, bytes_per_scalar, dtype=dtype)
+        return MultiprocessTransport(num_parts, bytes_per_scalar, dtype=dtype,
+                                     **kwargs)
     if not isinstance(transport, Transport):
         raise TypeError(f"unknown transport {transport!r}")
     if transport.num_parts != num_parts:
@@ -271,6 +279,47 @@ class Transport:
         )
 
 
+class _SendTicket:
+    """Completion handle of one queued outbound message.
+
+    Mirrors the ``threading.Thread`` join/is_alive surface the callers
+    historically used, plus an ``error`` slot so a failed push (dead
+    peer pipe) surfaces at the join instead of vanishing with the
+    sender thread.
+    """
+
+    __slots__ = ("dst", "tag", "_done", "error")
+
+    def __init__(self, dst: int, tag: str) -> None:
+        self.dst = dst
+        self.tag = tag
+        self._done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._done.wait(timeout)
+
+    def is_alive(self) -> bool:
+        return not self._done.is_set()
+
+
+@dataclass
+class ExchangeHandle:
+    """In-flight exchange: posted sends plus deferred receives.
+
+    Produced by :meth:`Endpoint.post_exchange`; redeemed by
+    :meth:`Endpoint.complete_exchange`.  Holding a handle means the
+    outbound payloads are already metered and queued on their channels
+    while the caller computes — the overlap the pipelined schedule is
+    built on.
+    """
+
+    tag: str
+    sends: List[_SendTicket] = field(default_factory=list)
+    expect: List[int] = field(default_factory=list)
+    completed: bool = False
+
+
 class Endpoint:
     """One rank's handle on a data-moving transport.
 
@@ -279,6 +328,18 @@ class Endpoint:
     exchange, the ring/tree AllReduce — is shared, so the local and
     multiprocess transports are behaviourally identical by
     construction.
+
+    Outbound messages to one destination travel through a single
+    per-destination sender thread fed by a FIFO queue, so posting
+    several non-blocking sends to the same peer (the pipelined
+    schedule posts every layer's stale features up front) preserves
+    their order on the channel — a guarantee thread-per-send cannot
+    make.
+
+    :attr:`blocked_seconds` accumulates the wall time this rank spends
+    inside ``_get`` waiting for inbound messages; per-epoch deltas of
+    it are what split measured epoch time into compute vs
+    blocked-in-recv.
     """
 
     def __init__(self, rank: int, num_parts: int, bytes_per_scalar: int,
@@ -288,6 +349,10 @@ class Endpoint:
         self.bytes_per_scalar = bytes_per_scalar
         self.recv_timeout = recv_timeout
         self.meter = ByteMeter(num_parts, bytes_per_scalar)
+        self.blocked_seconds = 0.0
+        self._send_queues: Dict[int, queue.Queue] = {}
+        self._send_threads: Dict[int, threading.Thread] = {}
+        self._closed = False
 
     # -- raw channel (implemented by subclasses) -----------------------
     def _put(self, dst: int, message) -> None:  # pragma: no cover - abstract
@@ -295,6 +360,58 @@ class Endpoint:
 
     def _get(self, src: int):  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # -- ordered outbound queues ---------------------------------------
+    def _sender_loop(self, dst: int) -> None:
+        q = self._send_queues[dst]
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            message, ticket = item
+            try:
+                self._put(dst, message)
+            except BaseException as exc:  # noqa: BLE001 - surfaced at join
+                ticket.error = exc
+            finally:
+                ticket._done.set()
+
+    def _enqueue(self, dst: int, message, tag: str) -> _SendTicket:
+        """Queue a message on the ordered channel to ``dst``."""
+        if dst not in self._send_queues:
+            self._send_queues[dst] = queue.Queue()
+            thread = threading.Thread(
+                target=self._sender_loop, args=(dst,), daemon=True
+            )
+            self._send_threads[dst] = thread
+            thread.start()
+        ticket = _SendTicket(dst, tag)
+        self._send_queues[dst].put((message, ticket))
+        return ticket
+
+    def _join_send(self, ticket: _SendTicket) -> None:
+        """Wait for a queued send; a send still in flight after the
+        receive window (peer not draining — a hang the old bare
+        ``thread.join(timeout)`` silently swallowed) or a failed push
+        raises :class:`TransportError` instead of being abandoned."""
+        ticket.join(self.recv_timeout)
+        if ticket.is_alive():
+            raise TransportError(
+                f"rank {self.rank} send (tag {ticket.tag!r}) to rank "
+                f"{ticket.dst} still in flight after {self.recv_timeout}s "
+                "(peer not draining?)"
+            )
+        if ticket.error is not None:
+            raise TransportError(
+                f"rank {self.rank} failed to ship tag {ticket.tag!r} to "
+                f"rank {ticket.dst} (peer died?)"
+            ) from ticket.error
+
+    def close(self) -> None:
+        """Shut the sender threads down (launch teardown)."""
+        self._closed = True
+        for q in self._send_queues.values():
+            q.put(None)
 
     def _check_float_width(self, payload: np.ndarray, tag: str) -> None:
         """Metered == shipped, enforced: a float payload whose scalar
@@ -320,55 +437,60 @@ class Endpoint:
         """Send ``payload`` to ``dst``; meters ``payload.size`` scalars.
 
         Empty payloads still travel (receivers stay in lockstep) but
-        meter zero bytes, matching the simulated semantics.
+        meter zero bytes, matching the simulated semantics.  Blocks
+        until the payload is on the wire (the queued-send join), so a
+        peer that never drains raises instead of hanging.
         """
         if dst == self.rank:
             raise TransportError(f"rank {self.rank} cannot send to itself")
         payload = np.asarray(payload)
         self._check_float_width(payload, tag)
         nbytes = self.meter.record_send(self.rank, dst, payload.size, tag)
-        self._put(dst, (tag, payload))
+        self._join_send(self._enqueue(dst, (tag, payload), tag))
         return nbytes
 
-    def isend(self, dst: int, payload: np.ndarray, tag: str) -> threading.Thread:
-        """Non-blocking :meth:`send`: meters now, pushes from a thread.
+    def isend(self, dst: int, payload: np.ndarray, tag: str) -> _SendTicket:
+        """Non-blocking :meth:`send`: meters now, ships asynchronously.
 
         Bounded channels (OS pipes) block the writer when full; pushing
-        from a thread lets a rank post all its outbound traffic before
-        draining inbound, which makes the exchange patterns below
-        deadlock-free regardless of payload size.
+        from the per-destination sender thread lets a rank post all its
+        outbound traffic before draining inbound, which makes the
+        exchange patterns below deadlock-free regardless of payload
+        size — and the FIFO queue keeps multiple in-flight messages to
+        one peer in posting order.
         """
         if dst == self.rank:
             raise TransportError(f"rank {self.rank} cannot send to itself")
         payload = np.asarray(payload)
         self._check_float_width(payload, tag)
         self.meter.record_send(self.rank, dst, payload.size, tag)
-        thread = threading.Thread(
-            target=self._put, args=(dst, (tag, payload)), daemon=True
-        )
-        thread.start()
-        return thread
+        return self._enqueue(dst, (tag, payload), tag)
 
     def recv(self, src: int, tag: str) -> np.ndarray:
-        """Receive the next message from ``src``; the tag must match."""
-        got_tag, payload = self._get(src)
+        """Receive the next message from ``src``; the tag must match.
+
+        Time spent waiting on the channel accumulates into
+        :attr:`blocked_seconds` (the measured, not modeled, side of the
+        compute/communication split).
+        """
+        t0 = time.perf_counter()
+        try:
+            got_tag, payload = self._get(src)
+        finally:
+            self.blocked_seconds += time.perf_counter() - t0
         if got_tag != tag:
             raise TransportError(
                 f"rank {self.rank} expected tag {tag!r} from {src}, got {got_tag!r}"
             )
         return payload
 
-    def _isend_raw(self, dst: int, payload: np.ndarray, tag: str) -> threading.Thread:
-        """Unmetered threaded push — for collective-internal traffic
+    def _isend_raw(self, dst: int, payload: np.ndarray, tag: str) -> _SendTicket:
+        """Unmetered queued push — for collective-internal traffic
         whose wire volume was already metered canonically."""
-        thread = threading.Thread(
-            target=self._put, args=(dst, (tag, payload)), daemon=True
-        )
-        thread.start()
-        return thread
+        return self._enqueue(dst, (tag, payload), tag)
 
     def _send_raw(self, dst: int, payload: np.ndarray, tag: str) -> None:
-        self._put(dst, (tag, payload))
+        self._join_send(self._enqueue(dst, (tag, payload), tag))
 
     def exchange(
         self,
@@ -378,16 +500,49 @@ class Endpoint:
     ) -> Dict[int, np.ndarray]:
         """Send to each key of ``outgoing``; receive from each of ``expect``.
 
-        All sends are posted first (threaded), then inbound messages are
-        drained, so the pattern cannot deadlock however large the
-        payloads are.
+        All sends are posted first, then inbound messages are drained,
+        so the pattern cannot deadlock however large the payloads are.
+        Equivalent to :meth:`complete_exchange` of a fresh
+        :meth:`post_exchange` — the blocking special case.
         """
-        pending = [
+        return self.complete_exchange(self.post_exchange(outgoing, expect, tag))
+
+    def post_exchange(
+        self,
+        outgoing: Dict[int, np.ndarray],
+        expect: Iterable[int],
+        tag: str,
+    ) -> ExchangeHandle:
+        """Post the sends of an exchange without touching the receives.
+
+        Meters and queues every outbound payload now, records the
+        deferred receives, and returns an :class:`ExchangeHandle`.  The
+        caller is free to compute while the payloads travel; redeem the
+        handle with :meth:`complete_exchange` when the inbound data is
+        actually needed.
+        """
+        handle = ExchangeHandle(tag=tag, expect=list(expect))
+        handle.sends = [
             self.isend(dst, payload, tag) for dst, payload in outgoing.items()
         ]
-        received = {src: self.recv(src, tag) for src in expect}
-        for thread in pending:
-            thread.join(self.recv_timeout)
+        return handle
+
+    def complete_exchange(self, handle: ExchangeHandle) -> Dict[int, np.ndarray]:
+        """Drain the deferred receives of ``handle``; join its sends.
+
+        A send still undelivered after the receive window raises
+        :class:`TransportError` — an abandoned sender masks a hung peer
+        as corruption.
+        """
+        if handle.completed:
+            raise TransportError(
+                f"rank {self.rank} completed exchange handle "
+                f"(tag {handle.tag!r}) twice"
+            )
+        handle.completed = True
+        received = {src: self.recv(src, handle.tag) for src in handle.expect}
+        for ticket in handle.sends:
+            self._join_send(ticket)
         return received
 
     # -- collectives ---------------------------------------------------
@@ -440,16 +595,16 @@ class Endpoint:
         for step in range(m - 1):
             send_idx = (rank - step) % m
             recv_idx = (rank - step - 1) % m
-            thread = self._isend_raw(succ, buf[slices[send_idx]].copy(), tag)
+            ticket = self._isend_raw(succ, buf[slices[send_idx]].copy(), tag)
             buf[slices[recv_idx]] += self.recv(pred, tag)
-            thread.join(self.recv_timeout)
+            self._join_send(ticket)
         # Allgather: circulate the finalised chunks.
         for step in range(m - 1):
             send_idx = (rank + 1 - step) % m
             recv_idx = (rank - step) % m
-            thread = self._isend_raw(succ, buf[slices[send_idx]].copy(), tag)
+            ticket = self._isend_raw(succ, buf[slices[send_idx]].copy(), tag)
             buf[slices[recv_idx]] = self.recv(pred, tag)
-            thread.join(self.recv_timeout)
+            self._join_send(ticket)
         return buf
 
     def _tree_allreduce(self, buf: np.ndarray, tag: str) -> np.ndarray:
@@ -522,8 +677,12 @@ class LocalTransport(Transport):
         queues = {
             (i, j): queue.Queue() for i in range(m) for j in range(m) if i != j
         }
+        # Per-recv windows stay at the transport's recv_timeout — the
+        # bound within which a dropped peer must surface as a
+        # TransportError; `timeout` only caps the launch as a whole.
         endpoints = [
-            _QueueEndpoint(i, m, self.bytes_per_scalar, timeout, queues)
+            _QueueEndpoint(i, m, self.bytes_per_scalar, self.recv_timeout,
+                           queues)
             for i in range(m)
         ]
         results: List = [None] * m
@@ -542,24 +701,28 @@ class LocalTransport(Transport):
         ]
         for t in threads:
             t.start()
-        # One shared deadline for the whole launch; a crashed rank is
-        # reported immediately (the daemon threads of the surviving
-        # ranks are abandoned to their recv timeouts).
-        deadline = _now() + timeout
-        while not failed.is_set():
-            alive = [t for t in threads if t.is_alive()]
-            if not alive:
-                break
-            remaining = deadline - _now()
-            if remaining <= 0:
-                break
-            alive[0].join(min(0.05, remaining))
-        if failures:
-            rank, exc, tb = failures[0]
-            raise TransportError(f"rank {rank} failed:\n{tb}") from exc
-        if any(t.is_alive() for t in threads):
-            stuck = [i for i, t in enumerate(threads) if t.is_alive()]
-            raise TransportError(f"ranks {stuck} still running after {timeout}s")
+        try:
+            # One shared deadline for the whole launch; a crashed rank is
+            # reported immediately (the daemon threads of the surviving
+            # ranks are abandoned to their recv timeouts).
+            deadline = _now() + timeout
+            while not failed.is_set():
+                alive = [t for t in threads if t.is_alive()]
+                if not alive:
+                    break
+                remaining = deadline - _now()
+                if remaining <= 0:
+                    break
+                alive[0].join(min(0.05, remaining))
+            if failures:
+                rank, exc, tb = failures[0]
+                raise TransportError(f"rank {rank} failed:\n{tb}") from exc
+            if any(t.is_alive() for t in threads):
+                stuck = [i for i, t in enumerate(threads) if t.is_alive()]
+                raise TransportError(f"ranks {stuck} still running after {timeout}s")
+        finally:
+            for ep in endpoints:
+                ep.close()
         for ep in endpoints:
             self.meter.merge(ep.meter)
         return results
@@ -572,11 +735,12 @@ class _PipeEndpoint(Endpoint):
     def __init__(self, rank, num_parts, bytes_per_scalar, recv_timeout, conns):
         super().__init__(rank, num_parts, bytes_per_scalar, recv_timeout)
         self._conns = conns
-        self._send_locks = {dst: threading.Lock() for dst in conns}
 
+    # The per-destination sender thread is the only writer of each pipe
+    # (Endpoint routes every outbound message through it), so no send
+    # lock is needed.
     def _put(self, dst: int, message) -> None:
-        with self._send_locks[dst]:
-            self._conns[dst].send(message)
+        self._conns[dst].send(message)
 
     def _get(self, src: int):
         conn = self._conns[src]
@@ -595,13 +759,28 @@ class _PipeEndpoint(Endpoint):
 
 
 def _mp_rank_main(worker, rank, num_parts, bytes_per_scalar, recv_timeout,
-                  conns, parent_conn) -> None:
+                  mesh, sibling_result_conns, parent_conn) -> None:
     """Entry point of one worker process.
 
     The payload arrives through the parent pipe (pickled — the rank's
     working set genuinely leaves the parent), the result and the
     rank's meter travel back the same way.
+
+    Fork duplicated *every* pipe end into this worker (and spawn
+    duplicates whatever is in the args), so the ends that belong to
+    other ranks are closed first.  Without this, a dead peer's channel
+    never drains to EOF — some sibling always still holds a duplicate
+    of the write end — and peer death silently degrades into a poll
+    timeout instead of an immediate :class:`TransportError`.
     """
+    for other_rank, peer_conns in mesh.items():
+        if other_rank != rank:
+            for conn in peer_conns.values():
+                conn.close()
+    for conn in sibling_result_conns:
+        conn.close()
+    conns = mesh[rank]
+    endpoint = None
     try:
         endpoint = _PipeEndpoint(rank, num_parts, bytes_per_scalar,
                                  recv_timeout, conns)
@@ -613,6 +792,9 @@ def _mp_rank_main(worker, rank, num_parts, bytes_per_scalar, recv_timeout,
             parent_conn.send(("err", traceback.format_exc(), None))
         except Exception:  # pragma: no cover - parent already gone
             pass
+    finally:
+        if endpoint is not None:
+            endpoint.close()
 
 
 class MultiprocessTransport(Transport):
@@ -641,10 +823,12 @@ class MultiprocessTransport(Transport):
 
         m = self.num_parts
         timeout = self.recv_timeout * 2 if timeout is None else timeout
-        # The launch deadline also governs rank-to-rank receives (as it
-        # does on LocalTransport): a caller raising `timeout` must not
-        # be cut short by the transport's default recv window.
-        recv_timeout = max(self.recv_timeout, timeout)
+        # Per-recv windows stay at the transport's recv_timeout — the
+        # bound within which a silent peer must surface as a
+        # TransportError; `timeout` only caps the launch as a whole.
+        # (Peer *death* surfaces even sooner: the workers close the
+        # pipe ends that are not theirs, so a dead peer's channel
+        # drains to EOF immediately.)
         payloads = list(payloads) if payloads is not None else [None] * m
         if len(payloads) != m:
             raise ValueError(f"expected {m} payloads, got {len(payloads)}")
@@ -661,10 +845,12 @@ class MultiprocessTransport(Transport):
             parent_end, child_end = ctx.Pipe(duplex=True)
             parent_conns.append(parent_end)
             child_conns.append(child_end)
+        for rank in range(m):
+            siblings = [c for i, c in enumerate(child_conns) if i != rank]
             procs.append(ctx.Process(
                 target=_mp_rank_main,
                 args=(worker, rank, m, self.bytes_per_scalar,
-                      recv_timeout, mesh[rank], child_end),
+                      self.recv_timeout, mesh, siblings, child_conns[rank]),
                 daemon=True,
             ))
         try:
@@ -722,6 +908,4 @@ class MultiprocessTransport(Transport):
 
 
 def _now() -> float:
-    import time
-
     return time.monotonic()

@@ -219,6 +219,40 @@ class TestLocalTransportEquivalence:
         assert all(0.0 <= v <= 1.0 for v in scores.values())
         assert len(result.history.loss) == 1
 
+    def test_evaluate_matches_simulated_trainer(self, graph, partition):
+        """executor.evaluate() after train() scores exactly what
+        DistributedTrainer.evaluate() scores on the same seeded run —
+        the parent replica really is synchronised from the workers'
+        final state, not left at initialisation."""
+        sim_model = _make_model(graph)
+        trainer = DistributedTrainer(
+            graph, partition, sim_model, BoundaryNodeSampler(0.5),
+            lr=0.01, seed=SEED,
+        )
+        for _ in range(EPOCHS):
+            trainer.train_epoch()
+        sim_scores = trainer.evaluate()
+
+        executor, dist_model, _ = _executor_run(
+            graph, partition, BoundaryNodeSampler(0.5), "local"
+        )
+        dist_scores = executor.evaluate()
+
+        assert set(dist_scores) == set(sim_scores)
+        for split, sim_value in sim_scores.items():
+            assert dist_scores[split] == pytest.approx(sim_value, abs=1e-12), (
+                f"{split} score diverged"
+            )
+        # The scores come from trained weights: a fresh replica of the
+        # same init must not already score identically on train loss
+        # terms (guards against evaluate() reading untrained state).
+        fresh = _make_model(graph)
+        for name, arr in fresh.state_dict().items():
+            if not np.array_equal(arr, dist_model.state_dict()[name]):
+                break
+        else:
+            raise AssertionError("executor model still at initialisation")
+
 
 class TestFloat32Equivalence:
     """The dtype-subsystem acceptance case: a seeded fp32 4-rank run

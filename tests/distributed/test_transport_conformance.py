@@ -267,6 +267,115 @@ class TestDataPlaneGuards:
             SimulatedCommunicator(2).launch(lambda ep, _: None)
 
 
+class TestDeadPeerDetection:
+    """A dead or dropped peer must surface as TransportError within
+    recv_timeout — never a silent hang — on both data-moving
+    transports, on the blocking recv path, on the non-blocking
+    post_exchange/complete_exchange path, and on the send side (the
+    regression: ``exchange``/``_ring_allreduce`` used to join their
+    send threads with a timeout and silently abandon them)."""
+
+    @pytest.mark.parametrize("kind", ["local", "multiprocess"])
+    def test_peer_exits_before_sending(self, kind):
+        cls = LocalTransport if kind == "local" else MultiprocessTransport
+        transport = cls(2, recv_timeout=1.0)
+
+        def worker(ep, _):
+            if ep.rank == 1:
+                return True  # exits without ever sending
+            ep.recv(1, "never")
+            return True
+
+        with pytest.raises(TransportError):
+            transport.launch(worker, timeout=30.0)
+
+    @pytest.mark.parametrize("kind", ["local", "multiprocess"])
+    def test_dead_peer_on_post_exchange_path(self, kind):
+        """complete_exchange of a deferred receive from a dead peer
+        fails within the receive window, not at the launch deadline."""
+        cls = LocalTransport if kind == "local" else MultiprocessTransport
+        transport = cls(2, recv_timeout=1.0)
+
+        def worker(ep, _):
+            if ep.rank == 1:
+                return True  # never serves the posted exchange
+            handle = ep.post_exchange({}, [1], "stale_features")
+            ep.complete_exchange(handle)
+            return None
+
+        with pytest.raises(TransportError) as excinfo:
+            transport.launch(worker, timeout=30.0)
+        # rank 0's receive window is the reported failure, not the
+        # launch deadline (rank 1 exited fine)
+        assert "rank 0" in str(excinfo.value)
+
+    def test_allreduce_with_dead_peer_times_out(self):
+        transport = LocalTransport(3, recv_timeout=0.5)
+
+        def worker(ep, contribution):
+            if ep.rank == 2:
+                return None  # drops out of the collective
+            return ep.allreduce(contribution, "reduce")
+
+        data = [np.ones(8, dtype=get_default_dtype())] * 3
+        with pytest.raises(TransportError):
+            transport.launch(worker, data, timeout=30.0)
+
+    def test_abandoned_send_raises_not_masks(self):
+        """A send the peer never drains must raise once the window
+        closes.  Pipes hold ~64KB, so a multi-megabyte payload to a
+        sleeping peer leaves the sender thread alive after its join —
+        previously swallowed, now a TransportError."""
+        transport = MultiprocessTransport(2, recv_timeout=1.0)
+
+        def worker(ep, _):
+            if ep.rank == 1:
+                # Stay alive past rank 0's send window without draining.
+                import time as _time
+
+                _time.sleep(3.0)
+                return True
+            big = np.zeros(1_000_000, dtype=get_default_dtype())
+            ep.send(1, big, "clog")  # must raise, not hang or pass
+            return True
+
+        with pytest.raises(TransportError, match="in flight|failed to ship"):
+            transport.launch(worker, timeout=30.0)
+
+    def test_completed_handle_cannot_be_redeemed_twice(self):
+        transport = LocalTransport(2, recv_timeout=5.0)
+
+        def worker(ep, _):
+            peer = 1 - ep.rank
+            handle = ep.post_exchange(
+                {peer: np.arange(3, dtype=get_default_dtype())}, [peer], "x"
+            )
+            ep.complete_exchange(handle)
+            with pytest.raises(TransportError, match="twice"):
+                ep.complete_exchange(handle)
+            return True
+
+        assert transport.launch(worker, timeout=15.0) == [True, True]
+
+    def test_blocked_seconds_accumulates_on_recv_wait(self):
+        """The measured compute/blocked split: a rank that waits on a
+        slow sender accounts that wait in blocked_seconds."""
+        transport = LocalTransport(2, recv_timeout=10.0)
+
+        def worker(ep, _):
+            import time as _time
+
+            if ep.rank == 1:
+                _time.sleep(0.3)
+                ep.send(0, np.ones(4, dtype=get_default_dtype()), "slow")
+                return ep.blocked_seconds
+            ep.recv(1, "slow")
+            return ep.blocked_seconds
+
+        waited, _ = transport.launch(worker, timeout=30.0)
+        assert waited >= 0.25
+
+
 class TestDtypeConformance:
     """The byte ledger is honest per dtype: an fp32 transport ships fp32
     payloads (no fp64 upcast anywhere on the wire path) and meters

@@ -67,10 +67,23 @@ class TestDistTrain:
         args = build_dist_parser().parse_args([])
         assert args.transport == "multiprocess"
         assert args.allreduce == "ring"
+        assert args.schedule == "synchronous"
 
     def test_rejects_unknown_transport(self):
         with pytest.raises(SystemExit):
             build_dist_parser().parse_args(["--transport", "carrier-pigeon"])
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit):
+            build_dist_parser().parse_args(["--schedule", "eager"])
+
+    def test_pipelined_schedule_end_to_end(self, capsys):
+        assert main(DIST_SMALL + ["--transport", "local",
+                                  "--schedule", "pipelined",
+                                  "--sampling-rate", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined" in out
+        assert "blocked in recv" in out
 
     def test_local_transport_end_to_end(self, capsys):
         assert main(DIST_SMALL + ["--transport", "local"]) == 0
