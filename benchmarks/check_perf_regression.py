@@ -16,11 +16,18 @@ problem sizes, so the comparison sticks to quantities that travel:
   ratio must not exceed the baseline's ratio by more than the
   (deliberately generous) ``--ratio-tolerance`` factor, catching a
   pipelined path that quietly stopped overlapping without flaking on
-  scheduler noise.
+  scheduler noise;
+* **the sampler-planning invariant** — importance-weighted BNS plan
+  construction must stay O(boundary) like uniform BNS: the fresh
+  ``sampler_planning.importance_over_bns_cost`` ratio (same machine,
+  same run, so it travels) must not exceed ``--plan-cost-tolerance``.
+  A regression here means π stopped being served from the rank-level
+  cache and planning went superlinear.
 
 Usage:
     python benchmarks/check_perf_regression.py FRESH.json \
-        [--baseline BENCH_sampling.json] [--ratio-tolerance 1.75]
+        [--baseline BENCH_sampling.json] [--ratio-tolerance 1.75] \
+        [--plan-cost-tolerance 1.5]
 """
 
 from __future__ import annotations
@@ -33,12 +40,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_sampling.json")
 
 
-def _load_e2e(path: str) -> dict:
+def _load_sections(path: str) -> dict:
     with open(path) as fh:
         data = json.load(fh)
     if "e2e_epoch" not in data:
         raise SystemExit(f"{path} has no 'e2e_epoch' section")
-    return data["e2e_epoch"]
+    return data
 
 
 def _ratio(section: dict) -> float:
@@ -57,6 +64,10 @@ def main() -> int:
     ap.add_argument("--ratio-tolerance", type=float, default=1.75,
                     help="allowed multiplicative slack on the "
                          "pipelined/synchronous epoch-time ratio")
+    ap.add_argument("--plan-cost-tolerance", type=float, default=1.5,
+                    help="allowed importance/uniform BNS plan-cost ratio "
+                         "(sampler_planning section): importance planning "
+                         "must stay O(boundary) like BNS")
     ap.add_argument("--blocked-margin", type=float, default=0.10,
                     help="additive noise margin on the blocked-fraction "
                          "invariant — wide enough that scheduler jitter "
@@ -66,10 +77,28 @@ def main() -> int:
                          "does)")
     args = ap.parse_args()
 
-    fresh = _load_e2e(args.fresh)
-    baseline = _load_e2e(args.baseline)
+    fresh_all = _load_sections(args.fresh)
+    baseline_all = _load_sections(args.baseline)
+    fresh = fresh_all["e2e_epoch"]
+    baseline = baseline_all["e2e_epoch"]
 
     failures = []
+
+    if "sampler_planning" not in fresh_all:
+        failures.append("fresh run has no 'sampler_planning' section")
+    else:
+        plan_ratio = float(
+            fresh_all["sampler_planning"]["importance_over_bns_cost"]
+        )
+        print(
+            f"sampler planning: importance/bns cost ratio {plan_ratio:.3f}  "
+            f"allowed <= {args.plan_cost_tolerance:.2f}"
+        )
+        if plan_ratio > args.plan_cost_tolerance:
+            failures.append(
+                "sampler planning regression: importance/bns plan cost "
+                f"ratio {plan_ratio:.3f} exceeds {args.plan_cost_tolerance}"
+            )
 
     sync_frac = float(fresh["synchronous_blocked_fraction"])
     pipe_frac = float(fresh["pipelined_blocked_fraction"])

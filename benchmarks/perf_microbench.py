@@ -33,6 +33,7 @@ from repro.core import (
     BoundaryNodeSampler,
     DropEdgeSampler,
     FullBoundarySampler,
+    ImportanceBoundarySampler,
     PartitionRuntime,
     explicit_stacked_operator,
 )
@@ -113,6 +114,49 @@ def time_spmm(runtime, p: float, mode: str, reps: int, d: int = 64):
         plan.prop.matmul(h)
     split_s = time.perf_counter() - t0
     return stacked_s / reps, split_s / reps
+
+
+def time_sampler_planning(runtime, p: float, epochs: int) -> dict:
+    """Uniform vs importance plan construction on the same runtime.
+
+    Importance planning must stay O(boundary) like BNS: π is computed
+    once per rank (water-filling over the precomputed boundary-degree
+    vector, cached on the RankData) and each epoch then costs one
+    Bernoulli draw per boundary node plus the kept columns' slice —
+    exactly BNS's profile plus the per-kept 1/π gather.  The steady-
+    state cost ratio is the guarded number (≤ ~1.5x); the one-off π
+    build is reported separately.
+    """
+    bns = BoundaryNodeSampler(p)
+    imp = ImportanceBoundarySampler(p)
+    # One-off π construction (cold cache: the water-filling itself,
+    # no plan work), then warm both samplers so the timed loops
+    # measure the steady state.
+    t0 = time.perf_counter()
+    for rank in runtime.ranks:
+        rank.boundary_keep_probs(p, imp.p_min, imp.mode)
+    pi_build_s = time.perf_counter() - t0
+    for i, rank in enumerate(runtime.ranks):
+        imp.plan(rank, np.random.default_rng(i))
+        bns.plan(rank, np.random.default_rng(i))
+    n_plans = epochs * len(runtime.ranks)
+    bns_s = time_split_plans(bns, runtime, epochs)
+    imp_s = time_split_plans(imp, runtime, epochs)
+    out = {
+        "p": p,
+        "epochs": epochs,
+        "bns_plans_per_sec": round(n_plans / bns_s, 2),
+        "importance_plans_per_sec": round(n_plans / imp_s, 2),
+        "importance_over_bns_cost": round(imp_s / bns_s, 3),
+        "pi_build_ms_total": round(pi_build_s * 1e3, 3),
+    }
+    print(
+        f"sampler planning p={p}:  bns {out['bns_plans_per_sec']:9.1f} plans/s   "
+        f"importance {out['importance_plans_per_sec']:9.1f} plans/s   "
+        f"cost ratio {out['importance_over_bns_cost']:.2f}x   "
+        f"(pi build {out['pi_build_ms_total']:.1f} ms once)"
+    )
+    return out
 
 
 def time_spmm_dtypes(runtime, p: float, reps: int, d: int = 64) -> dict:
@@ -359,10 +403,17 @@ def main() -> int:
             f"max|err| {err:.2e}"
         )
 
+    # Timed before the sampler-rate sweep below so the one-off pi
+    # water-filling really is measured against a cold RankData cache.
+    results["sampler_planning"] = time_sampler_planning(
+        runtime, args.p, args.epochs
+    )
+
     sampler_rates = {}
     for sampler in (
         FullBoundarySampler(),
         BoundaryNodeSampler(args.p),
+        ImportanceBoundarySampler(args.p),
         BoundaryEdgeSampler(args.p),
         DropEdgeSampler(args.p),
     ):

@@ -23,7 +23,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.sampler import BoundaryNodeSampler, BoundarySampler, FullBoundarySampler
+from ..core.sampler import (
+    BoundaryNodeSampler,
+    BoundarySampler,
+    FullBoundarySampler,
+    make_sampler,
+)
 from ..core.trainer import DistributedTrainer, TrainHistory
 from ..dist.comm import SimulatedCommunicator
 from ..dist.cost_model import (
@@ -259,13 +264,23 @@ def run_config_cached(
     method: str = "metis",
     seed: int = 0,
     epochs: Optional[int] = None,
+    sampler_name: str = "bns",
 ) -> RunSummary:
     """Memoised :func:`run_config` — several benchmarks share cells
     (e.g. Table 4's p-grid, Fig. 7's curves and Table 13's sweep), and
-    retraining identical configurations would dominate the suite."""
-    key = (name, num_parts, p, method, seed, epochs)
+    retraining identical configurations would dominate the suite.
+
+    ``sampler_name`` picks the boundary sampler through the shared
+    :func:`~repro.core.sampler.make_sampler` spec (``"bns"`` keeps the
+    historical default dispatch, ``"importance"`` runs the
+    degree-proportional sampler at the same expected traffic).
+    """
+    key = (name, num_parts, p, method, seed, epochs, sampler_name)
     if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = run_config(name, num_parts, p, method, seed, epochs)
+        _RUN_CACHE[key] = run_config(
+            name, num_parts, p, method, seed, epochs,
+            sampler=make_sampler(sampler_name, p),
+        )
     return _RUN_CACHE[key]
 
 

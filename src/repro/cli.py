@@ -27,12 +27,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .bench.tables import format_table
-from .core.sampler import (
-    BoundaryEdgeSampler,
-    BoundaryNodeSampler,
-    DropEdgeSampler,
-    FullBoundarySampler,
-)
+from .core.sampler import MODES, SAMPLER_NAMES, BoundarySampler, make_sampler
 from .core.trainer import DistributedTrainer
 from .core.gat_trainer import DistributedGATTrainer
 from .core.pipeline import PipelinedTrainer
@@ -43,7 +38,13 @@ from .nn.models import GATModel, GCNModel, GraphSAGEModel
 from .nn.schedulers import CosineAnnealingLR, StepLR
 from .partition import partition_graph
 
-__all__ = ["build_parser", "build_dist_parser", "main", "dist_train_main"]
+__all__ = [
+    "build_parser",
+    "build_dist_parser",
+    "build_sampler",
+    "main",
+    "dist_train_main",
+]
 
 
 def _common_options() -> argparse.ArgumentParser:
@@ -63,6 +64,24 @@ def _common_options() -> argparse.ArgumentParser:
     common.add_argument(
         "--sampling-rate", type=float, default=0.1,
         help="boundary node sampling rate p (1.0 = vanilla)",
+    )
+    common.add_argument(
+        "--sampler", default="bns", choices=SAMPLER_NAMES,
+        help="boundary sampling strategy: bns (uniform), importance "
+             "(degree-proportional keep probabilities, same expected "
+             "traffic as bns at equal p, lower variance on skewed "
+             "boundaries), bes/dropedge (Table 9 ablations), full",
+    )
+    common.add_argument(
+        "--mode", default="renorm", choices=MODES,
+        help="estimator mode: renorm (surviving-degree renormalisation, "
+             "the training default) or scale (unbiased 1/p — per-node "
+             "1/pi for --sampler importance — column rescale)",
+    )
+    common.add_argument(
+        "--p-min", type=float, default=None,
+        help="importance sampling clip floor for the keep probabilities "
+             "(default p/4; only used by --sampler importance)",
     )
     common.add_argument(
         "--dtype", default=None, choices=("float32", "float64"),
@@ -93,10 +112,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--partition-objective", default="volume", choices=("volume", "cut"),
         help="METIS-like objective (the paper uses communication volume)",
-    )
-    parser.add_argument(
-        "--sampler", default="bns", choices=("bns", "bes", "dropedge"),
-        help="boundary sampling strategy (bes/dropedge are Table 9 ablations)",
     )
     parser.add_argument(
         "--model", default="sage", choices=("sage", "gcn", "gat")
@@ -162,6 +177,17 @@ def build_dist_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sampler(args: argparse.Namespace) -> BoundarySampler:
+    """The one sampler construction point shared by ``train``,
+    ``dist-train`` and the bench drivers: --sampler/--sampling-rate/
+    --mode/--p-min resolved through
+    :func:`~repro.core.sampler.make_sampler` (bns and importance
+    collapse to the zero-overhead full sampler at p >= 1)."""
+    return make_sampler(
+        args.sampler, args.sampling_rate, mode=args.mode, p_min=args.p_min
+    )
+
+
 def dist_train_main(argv: Sequence[str]) -> int:
     """Run the ``dist-train`` subcommand; returns a process exit code."""
     from .dist.executor import ProcessRankExecutor
@@ -183,8 +209,7 @@ def dist_train_main(argv: Sequence[str]) -> int:
         graph.feature_dim, args.n_hidden, graph.num_classes,
         args.n_layers, args.dropout, rng, dtype=args.dtype,
     )
-    p = args.sampling_rate
-    sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
+    sampler = build_sampler(args)
     executor = ProcessRankExecutor(
         graph, partition, model, sampler,
         transport=args.transport, lr=args.lr, seed=args.seed,
@@ -267,12 +292,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             graph.feature_dim, args.n_hidden, graph.num_classes,
             args.n_layers, args.dropout, rng, dtype=args.dtype,
         )
-        if args.sampler == "bns":
-            sampler = FullBoundarySampler() if p >= 1.0 else BoundaryNodeSampler(p)
-        elif args.sampler == "bes":
-            sampler = BoundaryEdgeSampler(p)
-        else:
-            sampler = DropEdgeSampler(p)
+        sampler = build_sampler(args)
         trainer_cls = PipelinedTrainer if args.pipelined else DistributedTrainer
         trainer = trainer_cls(
             graph, partition, model, sampler, lr=args.lr, seed=args.seed,

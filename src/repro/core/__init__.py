@@ -7,7 +7,10 @@ from .sampler import (
     DropEdgeSampler,
     EpochPlan,
     FullBoundarySampler,
+    ImportanceBoundarySampler,
+    degree_keep_probs,
     explicit_stacked_operator,
+    make_sampler,
     plan_sampling_ops,
 )
 from .bns import PartitionRuntime, RankData
@@ -24,7 +27,10 @@ __all__ = [
     "DropEdgeSampler",
     "EpochPlan",
     "FullBoundarySampler",
+    "ImportanceBoundarySampler",
+    "degree_keep_probs",
     "explicit_stacked_operator",
+    "make_sampler",
     "plan_sampling_ops",
     "PartitionRuntime",
     "RankData",

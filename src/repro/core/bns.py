@@ -128,6 +128,43 @@ class RankData:
 
         return self._cached(key, build)
 
+    def boundary_degree(self, mode: str) -> np.ndarray:
+        """Per-boundary-column operator mass of the mode's block.
+
+        The importance distribution of
+        :class:`~repro.core.sampler.ImportanceBoundarySampler`:
+        ``deg(v) = ‖block[:, v]‖²`` — FastGCN's ``q ∝ ‖P[:,u]‖²``
+        importance measure applied rank-locally.  On the raw adjacency
+        block (renorm mode, unit entries) this is exactly the boundary
+        node's surviving degree into the partition; on the
+        pre-normalised block (scale mode) it is the degree-weighted
+        operator mass the Appendix A variance bound sums.
+        """
+        from .sampler import column_sq_mass  # local: avoid cycle
+
+        key = f"bd_degree_{mode}"
+        csc = self.a_bd_csc if mode == "renorm" else self.p_bd_csc
+        return self._cached(key, lambda: column_sq_mass(csc))
+
+    def boundary_keep_probs(
+        self, p: float, p_min: float, mode: str
+    ) -> np.ndarray:
+        """Degree-proportional keep probabilities π (cached per config).
+
+        ``π_v ∝ boundary_degree(v)`` water-filled into ``[p_min, 1]``
+        so that ``Σπ = p·|B_i|`` — the expected kept count (and thus
+        the expected traffic) matches uniform BNS at rate ``p``.
+        Derived entirely from rank-local state, so a shipped sampler
+        spec stays an index-free (p, p_min, mode) triple.
+        """
+        from .sampler import degree_keep_probs  # local: avoid cycle
+
+        key = f"bd_pi_{mode}_{float(p)!r}_{float(p_min)!r}"
+        return self._cached(
+            key,
+            lambda: degree_keep_probs(self.boundary_degree(mode), p, p_min),
+        )
+
     def bd_edge_cols(self, mode: str) -> np.ndarray:
         """Boundary-column id of every stored edge of the CSC block —
         lets edge samplers draw without a COO conversion per epoch."""
@@ -178,6 +215,9 @@ class RankData:
         the first epoch's plan cost matches the steady state)."""
         self.a_bd_csc, self.p_bd_csc, self.inner_deg
         self.a_in_t, self.p_in_t
+        # boundary_degree / boundary_keep_probs stay lazy: they cost
+        # O(nnz) / a water-filling only the importance sampler reads,
+        # and each is cached on first use (per rank, per config).
         for mode in ("renorm", "scale"):
             self.bd_edge_cols(mode)
             self.inner_edges(mode)

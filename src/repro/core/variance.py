@@ -5,14 +5,22 @@ because its estimator of one aggregation step ``Z = P H W`` has the
 smallest variance at matched sample size.  This module provides:
 
 * **estimators** — one-step approximations of ``Z_{V_i}`` under BNS
-  (scale and renorm modes), FastGCN-style global column sampling,
-  LADIES-style dependent column sampling, and GraphSAGE-style per-row
-  neighbour sampling — all written against raw numpy so that repeated
-  sampling is fast;
+  (scale and renorm modes), importance-weighted BNS (degree-
+  proportional keep probabilities with Horvitz–Thompson weights),
+  FastGCN-style global column sampling, LADIES-style dependent column
+  sampling, and GraphSAGE-style per-row neighbour sampling — all
+  written against raw numpy so that repeated sampling is fast;
 * :func:`empirical_variance` — Monte-Carlo ``E‖Z̃ − Z‖²_F / n_rows``;
 * :func:`analytic_bounds` — the Table 2 expressions evaluated on a
   concrete partition (γ from Assumption A.1 measured on HW, and the
-  Appendix A bound ``γ²‖P_{V_i,B_i}‖²_F / p`` for BNS).
+  Appendix A bound ``γ²‖P_{V_i,B_i}‖²_F / p`` for BNS);
+* :func:`importance_analytic_bound` — the importance generalisation
+  ``γ² Σ_v (1/π_v − 1)‖P[:,v]‖² / n``, which the uniform ``π ≡ p``
+  bound is a special case of.
+
+Every estimator follows the problem's feature dtype: fp32 features
+yield fp32 estimates (the "metered == shipped" dtype discipline), no
+silent fp64 accumulator upcasts.
 
 The Table 2 ordering (BNS < LADIES < FastGCN at equal sample size, by
 virtue of B_i ⊆ N_i ⊆ V) is asserted empirically in the test suite.
@@ -27,15 +35,18 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graph.propagation import safe_inverse
+from .sampler import column_sq_mass, default_p_min, degree_keep_probs
 
 __all__ = [
     "OneStepProblem",
     "bns_estimate",
+    "importance_bns_estimate",
     "fastgcn_estimate",
     "ladies_estimate",
     "graphsage_estimate",
     "empirical_variance",
     "analytic_bounds",
+    "importance_analytic_bound",
     "gamma_bound",
 ]
 
@@ -96,6 +107,48 @@ class OneStepProblem:
             "inner_deg", lambda: np.asarray(self.a_in.sum(axis=1)).ravel()
         )
 
+    @property
+    def p_all(self) -> sp.csc_matrix:
+        """``[P_in | P_bd]`` in CSC — the global samplers' column view."""
+        return self._cached(
+            "p_all",
+            lambda: sp.hstack([self.p_in, self.p_bd], format="csc"),
+        )
+
+    @property
+    def p_all_csr(self) -> sp.csr_matrix:
+        return self._cached("p_all_csr", self.p_all.tocsr)
+
+    @property
+    def h_all(self) -> np.ndarray:
+        return self._cached(
+            "h_all", lambda: np.vstack([self.h_in, self.h_bd])
+        )
+
+    @property
+    def col_mass(self) -> np.ndarray:
+        """``‖P[:,u]‖²`` per column of the whole operator (FastGCN's
+        importance measure; also the Table 2 receptive-field test)."""
+        return self._cached("col_mass", lambda: column_sq_mass(self.p_all))
+
+    def boundary_degree(self, mode: str = "scale") -> np.ndarray:
+        """Per-boundary-column operator mass — the importance degree
+        (the same :func:`~repro.core.sampler.column_sq_mass` measure
+        :meth:`repro.core.bns.RankData.boundary_degree` uses)."""
+        key = f"bd_degree_{mode}"
+        csc = self.a_bd_csc if mode == "renorm" else self.p_bd_csc
+        return self._cached(key, lambda: column_sq_mass(csc))
+
+    def boundary_keep_probs(
+        self, p: float, p_min: float, mode: str = "scale"
+    ) -> np.ndarray:
+        """Water-filled degree-proportional π (cached per config)."""
+        key = f"bd_pi_{mode}_{float(p)!r}_{float(p_min)!r}"
+        return self._cached(
+            key,
+            lambda: degree_keep_probs(self.boundary_degree(mode), p, p_min),
+        )
+
 
 def gamma_bound(problem: OneStepProblem) -> float:
     """Assumption A.1's γ: max row L2-norm of H·W over all nodes."""
@@ -106,6 +159,19 @@ def gamma_bound(problem: OneStepProblem) -> float:
 # ----------------------------------------------------------------------
 # Estimators
 # ----------------------------------------------------------------------
+
+def _renorm_estimate(problem: OneStepProblem, kept: np.ndarray) -> np.ndarray:
+    """Self-normalised estimate on the kept boundary subset: raw blocks
+    renormalised by the surviving degree (Algorithm 1 line 5)."""
+    z = problem.a_in @ problem.h_in
+    deg = problem.inner_deg
+    if kept.size:
+        bd = problem.a_bd_csc[:, kept]
+        z = z + bd @ problem.h_bd[kept]
+        deg = deg + np.asarray(bd.sum(axis=1)).ravel()
+    inv = safe_inverse(deg)
+    return (z * inv[:, None]) @ problem.weight
+
 
 def bns_estimate(
     problem: OneStepProblem,
@@ -129,15 +195,63 @@ def bns_estimate(
             z = z + (problem.p_bd_csc[:, kept] @ problem.h_bd[kept]) / p
         return z @ problem.weight
     if mode == "renorm":
-        z = problem.a_in @ problem.h_in
-        deg = problem.inner_deg
-        if kept.size:
-            bd = problem.a_bd_csc[:, kept]
-            z = z + bd @ problem.h_bd[kept]
-            deg = deg + np.asarray(bd.sum(axis=1)).ravel()
-        inv = safe_inverse(deg)
-        return (z * inv[:, None]) @ problem.weight
+        return _renorm_estimate(problem, kept)
     raise ValueError(f"unknown mode {mode!r}")
+
+
+def importance_bns_estimate(
+    problem: OneStepProblem,
+    p: float,
+    rng: np.random.Generator,
+    mode: str = "scale",
+    p_min: Optional[float] = None,
+) -> np.ndarray:
+    """Importance-weighted BNS estimate: keep node v w.p. ``π_v ∝ deg(v)``.
+
+    Mirrors :class:`~repro.core.sampler.ImportanceBoundarySampler`:
+    π comes from :func:`~repro.core.sampler.degree_keep_probs` (the
+    expected kept count equals ``p·|B_i|`` — uniform BNS traffic at
+    matched sample size); scale mode weights each kept column by the
+    Horvitz–Thompson ``1/π_v`` (unbiased), renorm mode renormalises by
+    the surviving degree like uniform BNS.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1] for estimation")
+    if mode not in ("scale", "renorm"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if p_min is None:
+        p_min = default_p_min(p)
+    pi = problem.boundary_keep_probs(p, p_min, mode)
+    kept = np.flatnonzero(rng.random(problem.n_boundary) < pi)
+    if mode == "renorm":
+        return _renorm_estimate(problem, kept)
+    z = problem.p_in @ problem.h_in
+    if kept.size:
+        w = (1.0 / pi[kept]).astype(problem.h_bd.dtype)
+        z = z + problem.p_bd_csc[:, kept] @ (problem.h_bd[kept] * w[:, None])
+    return z @ problem.weight
+
+
+def _fastgcn_default_q(problem: OneStepProblem) -> np.ndarray:
+    """FastGCN's importance distribution ``q ∝ ‖P[:,u]‖²`` (cached)."""
+
+    def build():
+        q = problem.col_mass
+        total = q.sum()
+        n_all = q.size
+        return q / total if total > 0 else np.full(n_all, 1.0 / n_all)
+
+    return problem._cached("fastgcn_q", build)
+
+
+def _fastgcn_draw(problem, sample_size, rng, q):
+    """Shared column draw of the fast and reference FastGCN paths."""
+    n_all = problem.p_all.shape[1]
+    if q is None:
+        q = _fastgcn_default_q(problem)
+    s = min(sample_size, n_all)
+    cols = rng.choice(n_all, size=s, replace=True, p=q)
+    return q, s, np.unique(cols, return_counts=True)
 
 
 def fastgcn_estimate(
@@ -149,21 +263,35 @@ def fastgcn_estimate(
     """FastGCN: sample columns of the whole operator from a global q.
 
     ``q`` defaults to the importance distribution ∝ ‖P[:,u]‖²; entries
-    are rescaled 1/(s·q_u) for unbiasedness.
+    are rescaled 1/(s·q_u) for unbiasedness.  The estimate is one
+    column-scaled SpMM over the unique sampled columns —
+    ``P[:, uniq] @ (w ⊙ H[uniq])`` with ``w_u = c_u/(s·q_u)`` — the
+    Monte-Carlo harness's hot path (the retired per-column rank-1
+    update loop survives as :func:`_fastgcn_estimate_loop`, the
+    equivalence reference).
     """
-    p_all = sp.hstack([problem.p_in, problem.p_bd], format="csc")
-    h_all = np.vstack([problem.h_in, problem.h_bd])
-    n_all = p_all.shape[1]
-    if q is None:
-        q = np.asarray(p_all.multiply(p_all).sum(axis=0)).ravel()
-        total = q.sum()
-        q = q / total if total > 0 else np.full(n_all, 1.0 / n_all)
-    s = min(sample_size, n_all)
-    cols = rng.choice(n_all, size=s, replace=True, p=q)
-    z = np.zeros((problem.n_inner, h_all.shape[1]))
-    uniq, counts = np.unique(cols, return_counts=True)
+    h_all = problem.h_all
+    q, s, (uniq, counts) = _fastgcn_draw(problem, sample_size, rng, q)
+    w = (counts / (s * q[uniq])).astype(h_all.dtype)
+    z = problem.p_all[:, uniq] @ (h_all[uniq] * w[:, None])
+    return z @ problem.weight
+
+
+def _fastgcn_estimate_loop(
+    problem: OneStepProblem,
+    sample_size: int,
+    rng: np.random.Generator,
+    q: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reference implementation: one sparse column slice + rank-1
+    update per unique sampled column.  Kept only so the test suite can
+    pin :func:`fastgcn_estimate` to it (same draws, ≤ 1e-12)."""
+    h_all = problem.h_all
+    q, s, (uniq, counts) = _fastgcn_draw(problem, sample_size, rng, q)
+    z = np.zeros((problem.n_inner, h_all.shape[1]), dtype=h_all.dtype)
+    p_all = problem.p_all
     for u, c in zip(uniq, counts):
-        z += (c / (s * q[u])) * (p_all[:, u] @ h_all[u:u + 1])
+        z += float(c / (s * q[u])) * (p_all[:, u] @ h_all[u:u + 1])
     return z @ problem.weight
 
 
@@ -174,11 +302,15 @@ def ladies_estimate(
 ) -> np.ndarray:
     """LADIES: like FastGCN but q restricted to the receptive field
     N_i (columns with mass in the P[V_i, ·] rows)."""
-    p_all = sp.hstack([problem.p_in, problem.p_bd], format="csc")
-    col_mass = np.asarray(p_all.multiply(p_all).sum(axis=0)).ravel()
-    support = np.flatnonzero(col_mass > 0)
-    q = np.zeros_like(col_mass)
-    q[support] = col_mass[support] / col_mass[support].sum()
+
+    def build():
+        col_mass = problem.col_mass
+        support = np.flatnonzero(col_mass > 0)
+        q = np.zeros_like(col_mass)
+        q[support] = col_mass[support] / col_mass[support].sum()
+        return q
+
+    q = problem._cached("ladies_q", build)
     return fastgcn_estimate(problem, sample_size, rng, q=q)
 
 
@@ -189,10 +321,10 @@ def graphsage_estimate(
 ) -> np.ndarray:
     """GraphSAGE: per-row neighbour sampling (with replacement), each
     row's sample mean scaled back to the row's aggregation weight."""
-    p_all = sp.hstack([problem.p_in, problem.p_bd], format="csr")
-    h_all = np.vstack([problem.h_in, problem.h_bd])
+    p_all = problem.p_all_csr
+    h_all = problem.h_all
     n_in = problem.n_inner
-    z = np.zeros((n_in, h_all.shape[1]))
+    z = np.zeros((n_in, h_all.shape[1]), dtype=h_all.dtype)
     indptr, indices, data = p_all.indptr, p_all.indices, p_all.data
     for v in range(n_in):
         lo, hi = indptr[v], indptr[v + 1]
@@ -237,9 +369,8 @@ def analytic_bounds(problem: OneStepProblem, p: float) -> Dict[str, float]:
     n_in = problem.n_inner
     n_bd = problem.n_boundary
     s = max(p * n_bd, 1e-9)
-    p_all = sp.hstack([problem.p_in, problem.p_bd], format="csc")
-    n_all = p_all.shape[1]
-    col_mass = np.asarray(p_all.multiply(p_all).sum(axis=0)).ravel()
+    n_all = problem.p_all.shape[1]
+    col_mass = problem.col_mass
     receptive = int((col_mass > 0).sum())  # |N_i|
     deg = np.diff(problem.a_in.indptr) + np.asarray(
         problem.a_bd.sum(axis=1)
@@ -263,3 +394,24 @@ def analytic_bounds(problem: OneStepProblem, p: float) -> Dict[str, float]:
         "|V|": n_all,
         "avg_degree": avg_deg,
     }
+
+
+def importance_analytic_bound(
+    problem: OneStepProblem, p: float, p_min: Optional[float] = None
+) -> float:
+    """Appendix-A-style bound for importance-weighted BNS (scale mode).
+
+    The Horvitz–Thompson estimator's exact variance is
+    ``Σ_v (1/π_v − 1)·‖P_bd[:,v]‖²·‖h_v W‖²``; bounding each row-norm
+    by γ gives ``γ² Σ_v (1/π_v − 1)·‖P_bd[:,v]‖² / n_in`` per inner
+    node.  Uniform ``π ≡ p`` recovers ``γ²(1−p)‖P_bd‖²_F/(p·n_in)`` —
+    the appendix bound sans its dropped ``(1−p)`` factor — so the two
+    bounds are directly comparable numbers.
+    """
+    gamma = gamma_bound(problem)
+    if p_min is None:
+        p_min = default_p_min(p)
+    pi = problem.boundary_keep_probs(p, p_min, "scale")
+    mass = problem.boundary_degree("scale")
+    total = float(((1.0 / pi - 1.0) * mass).sum()) if pi.size else 0.0
+    return gamma ** 2 * total / problem.n_inner

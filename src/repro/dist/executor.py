@@ -98,7 +98,17 @@ SCHEDULES = ("synchronous", "pipelined")
 # ----------------------------------------------------------------------
 @dataclass
 class _RankTask:
-    """Everything one worker needs — shippable (pure numpy/scipy state)."""
+    """Everything one worker needs — shippable (pure numpy/scipy state).
+
+    ``sampler`` is the *spec*, not per-rank state: any
+    :class:`~repro.core.sampler.BoundarySampler` pickles through the
+    launch channel and draws its plans worker-side against the shipped
+    :class:`~repro.core.bns.RankData`.  Samplers whose distribution
+    depends on the rank (e.g. the importance sampler's π vector) must
+    derive it rank-locally — that keeps the wire format and the byte
+    ledger identical across sampler choices, which the equivalence
+    suite asserts.
+    """
 
     rank: int
     num_parts: int
@@ -477,7 +487,11 @@ class ProcessRankExecutor:
     graph / partition / model / sampler / lr / seed / aggregation:
         As for :class:`~repro.core.trainer.DistributedTrainer` — the
         seed derivation is identical, so a seeded run reproduces the
-        simulated trainer's sampling draws exactly.
+        simulated trainer's sampling draws exactly.  Any sampler spec
+        ships to the workers as-is (uniform, importance-weighted,
+        edge-based or custom); rank-dependent structure such as the
+        importance π vector is derived on the worker from its own
+        ``RankData``, never serialised.
     transport:
         A :class:`~repro.dist.transport.LocalTransport`,
         :class:`~repro.dist.transport.MultiprocessTransport`, or one of

@@ -136,8 +136,11 @@ class SplitOperator:
         renorm-mode sampling it is ``1 / (inner_deg + A_bd_kept·1)``,
         one SpMV on the kept block instead of a full matrix rebuild.
     col_scale:
-        Optional scalar applied to the boundary block only (the
-        1/p rescale of the unbiased estimator).
+        Optional scalar — or ``(k,)`` vector, one factor per kept
+        column — applied to the boundary block only.  The scalar form
+        is the uniform 1/p rescale of the unbiased BNS estimator; the
+        vector form carries per-column Horvitz–Thompson weights
+        ``1/π_v`` for importance-weighted boundary sampling.
     inner_t:
         Optional precomputed CSR transpose of ``inner``; pass the
         rank-level cached transpose so the SpMM backward does not
@@ -162,7 +165,7 @@ class SplitOperator:
         boundary: Optional[sp.spmatrix] = None,
         kept_cols: Optional[np.ndarray] = None,
         row_scale: Optional[np.ndarray] = None,
-        col_scale: Optional[float] = None,
+        col_scale: Optional[Union[float, np.ndarray]] = None,
         inner_t: Optional[sp.csr_matrix] = None,
     ) -> None:
         self.inner = inner
@@ -174,7 +177,19 @@ class SplitOperator:
             kept_cols = np.arange(k, dtype=np.int64)
         self.kept_cols = np.asarray(kept_cols, dtype=np.int64)
         self.row_scale = row_scale
-        if col_scale is not None and col_scale == 1.0:
+        if col_scale is not None:
+            if np.ndim(col_scale) == 0:
+                if col_scale == 1.0:
+                    col_scale = None
+            else:
+                col_scale = np.asarray(col_scale).ravel()
+                k = self.boundary.shape[1] if self.boundary is not None else 0
+                if col_scale.size != k:
+                    raise ValueError(
+                        f"col_scale vector has {col_scale.size} entries "
+                        f"for {k} boundary columns"
+                    )
+        if self.boundary is None:
             col_scale = None
         self.col_scale = col_scale
         self._inner_t = inner_t
@@ -189,7 +204,7 @@ class SplitOperator:
         boundary_csc: sp.csc_matrix,
         kept_cols: np.ndarray,
         row_scale: Optional[np.ndarray] = None,
-        col_scale: Optional[float] = None,
+        col_scale: Optional[Union[float, np.ndarray]] = None,
         inner_t: Optional[sp.csr_matrix] = None,
     ) -> "SplitOperator":
         """Select ``kept_cols`` from a prebuilt boundary CSC universe.
@@ -221,12 +236,15 @@ class SplitOperator:
         target = resolve_dtype(dtype)
         if self.inner.dtype == target:
             return self
+        col_scale = self.col_scale
+        if isinstance(col_scale, np.ndarray):
+            col_scale = col_scale.astype(target)
         return SplitOperator(
             self.inner.astype(target),
             self.boundary.astype(target) if self.boundary is not None else None,
             self.kept_cols,
             self.row_scale.astype(target) if self.row_scale is not None else None,
-            self.col_scale,
+            col_scale,
             self._inner_t.astype(target) if self._inner_t is not None else None,
         )
 
@@ -275,7 +293,10 @@ class SplitOperator:
             if self.boundary is not None:
                 bd = self.boundary
                 if self.col_scale is not None:
-                    bd = bd * self.col_scale
+                    if np.ndim(self.col_scale) == 0:
+                        bd = bd * self.col_scale
+                    else:
+                        bd = bd @ sp.diags(self.col_scale)
                 stacked = sp.hstack([self.inner, bd], format="csr")
             else:
                 stacked = self.inner.copy()
@@ -287,6 +308,14 @@ class SplitOperator:
     def toarray(self) -> np.ndarray:
         return self.csr.toarray()
 
+    def _apply_col_scale(self, x: np.ndarray) -> np.ndarray:
+        """Scale the per-kept-column rows of ``x`` ((k, d) or (k,)) by
+        ``col_scale`` — a scalar broadcast or an elementwise vector."""
+        cs = self.col_scale
+        if np.ndim(cs) == 0 or x.ndim == 1:
+            return x * cs
+        return x * cs[:, None]
+
     def matmul(self, h: np.ndarray) -> np.ndarray:
         """Split-form product ``P_eff @ h`` on a raw ndarray (no tape)."""
         n_in = self.inner.shape[1]
@@ -294,7 +323,7 @@ class SplitOperator:
         if self.boundary is not None:
             h_bd = h[n_in:]
             if self.col_scale is not None:
-                h_bd = h_bd * self.col_scale
+                h_bd = self._apply_col_scale(h_bd)
             out += self.boundary_csr @ h_bd
         if self.row_scale is not None:
             out *= self.row_scale[:, None] if out.ndim == 2 else self.row_scale
@@ -312,7 +341,7 @@ class SplitOperator:
         if self.boundary is not None:
             d_bd = self.boundary_t @ g
             if self.col_scale is not None:
-                d_bd = d_bd * self.col_scale
+                d_bd = self._apply_col_scale(d_bd)
             out[n_in:] = d_bd
         return out
 
@@ -320,11 +349,14 @@ class SplitOperator:
         return float((self.csr.data ** 2).sum())
 
     def __repr__(self) -> str:
+        cs = self.col_scale
+        if isinstance(cs, np.ndarray):
+            cs = f"vector({cs.size})"
         return (
             f"SplitOperator(shape={self.shape}, inner_nnz={self.inner_nnz}, "
             f"boundary_nnz={self.boundary_nnz}, "
             f"renorm={self.row_scale is not None}, "
-            f"col_scale={self.col_scale})"
+            f"col_scale={cs})"
         )
 
 

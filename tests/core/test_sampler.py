@@ -1,4 +1,4 @@
-"""BNS / BES / DropEdge sampler semantics (+ hypothesis properties)."""
+"""BNS / BES / DropEdge / importance sampler semantics (+ properties)."""
 
 import numpy as np
 import pytest
@@ -9,10 +9,17 @@ from repro.core import (
     BoundaryEdgeSampler,
     BoundaryNodeSampler,
     DropEdgeSampler,
+    EpochPlan,
     FullBoundarySampler,
+    ImportanceBoundarySampler,
     PartitionRuntime,
+    degree_keep_probs,
+    explicit_stacked_operator,
+    make_sampler,
+    plan_sampling_ops,
 )
 from repro.partition import partition_graph
+from repro.tensor import SparseOp
 
 
 @pytest.fixture(scope="module")
@@ -135,6 +142,276 @@ class TestBNS:
         assert plan.prop.shape == (
             rd.n_inner, rd.n_inner + len(plan.kept_positions)
         )
+
+    @pytest.fixture(autouse=True)
+    def _attach(self, rank_data):
+        self._rank_data = rank_data
+
+
+class TestDegreeKeepProbs:
+    """Water-filling invariants of the importance distribution."""
+
+    def test_expected_kept_matches_uniform(self):
+        rng = np.random.default_rng(0)
+        deg = rng.pareto(1.5, size=500) + 1.0
+        for p in (0.05, 0.1, 0.5, 0.9):
+            pi = degree_keep_probs(deg, p, p / 4)
+            assert np.isclose(pi.sum(), p * deg.size, rtol=1e-9)
+            assert (pi >= p / 4 - 1e-12).all() and (pi <= 1.0 + 1e-12).all()
+
+    def test_equal_degrees_reduce_to_uniform(self):
+        pi = degree_keep_probs(np.full(64, 7.0), 0.3, 0.05)
+        np.testing.assert_allclose(pi, 0.3, atol=1e-12)
+
+    def test_monotone_in_degree(self):
+        deg = np.array([1.0, 2.0, 4.0, 50.0])
+        pi = degree_keep_probs(deg, 0.5, 0.1)
+        assert (np.diff(pi) >= -1e-12).all()
+
+    def test_p_one_keeps_everything(self):
+        pi = degree_keep_probs(np.array([1.0, 9.0]), 1.0, 0.25)
+        np.testing.assert_allclose(pi, 1.0)
+
+    def test_zero_mass_falls_back_to_uniform(self):
+        pi = degree_keep_probs(np.zeros(10), 0.2, 0.05)
+        np.testing.assert_allclose(pi, 0.2)
+
+    def test_unachievable_floor_spills_to_zero_mass_entries(self):
+        """Mixed zero/positive degrees where p·n exceeds what clipping
+        at [p_min, 1] can reach: massive columns saturate at 1, the
+        zero-mass ones share the spill — never NaN, budget exact."""
+        deg = np.array([1.0] + [0.0] * 9)
+        pi = degree_keep_probs(deg, 0.5, 0.125)
+        assert np.isfinite(pi).all()
+        assert np.isclose(pi.sum(), 0.5 * deg.size, rtol=1e-9)
+        assert pi[0] == 1.0
+        np.testing.assert_allclose(pi[1:], (0.5 * 10 - 1.0) / 9)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            degree_keep_probs(np.ones(4), 0.0, 0.1)
+        with pytest.raises(ValueError):
+            degree_keep_probs(np.ones(4), 0.5, 0.0)
+
+    @given(
+        st.floats(min_value=0.02, max_value=0.98),
+        st.integers(0, 20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_budget_conserved(self, p, seed):
+        deg = np.random.default_rng(seed).pareto(1.2, size=200) + 1.0
+        pi = degree_keep_probs(deg, p, p / 4)
+        assert np.isclose(pi.sum(), p * deg.size, rtol=1e-9)
+
+
+class TestImportance:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            ImportanceBoundarySampler(1.5)
+        with pytest.raises(ValueError):
+            ImportanceBoundarySampler(0.5, p_min=0.0)
+        with pytest.raises(ValueError):
+            ImportanceBoundarySampler(0.5, mode="magic")
+
+    def test_p_zero_drops_all(self, rank_data):
+        plan = ImportanceBoundarySampler(0.0).plan(rank_data, fresh_rng())
+        assert plan.kept_positions.size == 0
+
+    def test_p_one_keeps_all_without_weights(self, rank_data):
+        plan = ImportanceBoundarySampler(1.0, mode="scale").plan(
+            rank_data, fresh_rng()
+        )
+        assert len(plan.kept_positions) == rank_data.n_boundary
+        assert plan.prop.col_scale is None  # pi = 1 degenerates cleanly
+
+    def test_expected_kept_count_matches_uniform_bns(self, rank_data):
+        """The apples-to-apples traffic contract: E[kept] = p·|B_i|."""
+        p = 0.3
+        counts = [
+            len(
+                ImportanceBoundarySampler(p)
+                .plan(rank_data, fresh_rng(s)).kept_positions
+            )
+            for s in range(60)
+        ]
+        expected = p * rank_data.n_boundary
+        sigma = np.sqrt(rank_data.n_boundary * p * (1 - p))
+        assert abs(np.mean(counts) - expected) < 3 * sigma / np.sqrt(60) + 1
+
+    def test_scale_mode_applies_ht_weights(self, rank_data):
+        p = 0.4
+        sampler = ImportanceBoundarySampler(p, mode="scale")
+        plan = sampler.plan(rank_data, fresh_rng(1))
+        kept = plan.kept_positions
+        pi = rank_data.boundary_keep_probs(p, sampler.p_min, "scale")
+        got = plan.prop.toarray()[:, rank_data.n_inner:]
+        expected = rank_data.p_bd.toarray()[:, kept] / pi[kept]
+        np.testing.assert_allclose(got, expected)
+
+    def test_matches_explicit_operator(self, rank_data):
+        """Split plan == legacy hstack construction, both modes."""
+        p = 0.4
+        for mode in ("renorm", "scale"):
+            sampler = ImportanceBoundarySampler(p, mode=mode)
+            plan = sampler.plan(rank_data, fresh_rng(2))
+            kept = plan.kept_positions
+            pi = rank_data.boundary_keep_probs(p, sampler.p_min, mode)
+            rate = pi[kept] if mode == "scale" else p
+            explicit = explicit_stacked_operator(rank_data, kept, mode, rate)
+            h = np.random.default_rng(3).normal(size=(plan.prop.shape[1], 4))
+            np.testing.assert_allclose(
+                plan.prop.matmul(h), explicit @ h, atol=1e-9
+            )
+            g = np.random.default_rng(4).normal(size=(rank_data.n_inner, 4))
+            np.testing.assert_allclose(
+                plan.prop.rmatmul(g), explicit.T @ g, atol=1e-9
+            )
+
+    def test_renorm_rows_sum_to_one(self, rank_data):
+        plan = ImportanceBoundarySampler(0.3, mode="renorm").plan(
+            rank_data, fresh_rng(3)
+        )
+        sums = np.asarray(plan.prop.csr.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_scale_mode_unbiased(self, rank_data):
+        """E[P̃ @ H̃] == P @ H: the Horvitz–Thompson premise."""
+        rng_feat = np.random.default_rng(9)
+        h_in = rng_feat.normal(size=(rank_data.n_inner, 4))
+        h_bd = rng_feat.normal(size=(rank_data.n_boundary, 4))
+        exact = rank_data.p_in @ h_in + rank_data.p_bd @ h_bd
+        total = np.zeros_like(exact)
+        n_draws = 400
+        sampler = ImportanceBoundarySampler(0.3, mode="scale")
+        for s in range(n_draws):
+            plan = sampler.plan(rank_data, fresh_rng(s))
+            h_all = np.vstack([h_in, h_bd[plan.kept_positions]])
+            total += plan.prop.matmul(h_all)
+        err = np.abs(total / n_draws - exact).max()
+        assert err < 0.15 * np.abs(exact).max()
+
+    def test_hubs_kept_more_often_than_tail(self, rank_data):
+        """The importance mechanism: the heaviest boundary column is
+        kept more often than the lightest across draws."""
+        deg = rank_data.boundary_degree("renorm")
+        if deg.max() <= deg.min():  # pragma: no cover - degenerate graph
+            pytest.skip("no degree skew on this partition")
+        hub, tail = int(np.argmax(deg)), int(np.argmin(deg))
+        sampler = ImportanceBoundarySampler(0.2)
+        hub_kept = tail_kept = 0
+        for s in range(80):
+            kept = sampler.plan(rank_data, fresh_rng(s)).kept_positions
+            hub_kept += int(hub in kept)
+            tail_kept += int(tail in kept)
+        assert hub_kept > tail_kept
+
+    def test_deterministic_given_rng(self, rank_data):
+        a = ImportanceBoundarySampler(0.4).plan(
+            rank_data, fresh_rng(5)
+        ).kept_positions
+        b = ImportanceBoundarySampler(0.4).plan(
+            rank_data, fresh_rng(5)
+        ).kept_positions
+        np.testing.assert_array_equal(a, b)
+
+    def test_planning_stays_o_boundary(self, rank_data):
+        """Recorded ops mirror BNS: one draw per boundary node plus the
+        kept columns' edges (pi is served from the rank cache)."""
+        plan = ImportanceBoundarySampler(0.3).plan(rank_data, fresh_rng(6))
+        assert plan.sampling_ops == (
+            rank_data.n_boundary + plan.prop.boundary_nnz
+        )
+
+    def test_spec_ships_without_per_node_state(self):
+        """The executor pickles the sampler to every worker: the spec
+        must stay (p, p_min, mode) — pi is derived rank-locally."""
+        import pickle
+
+        sampler = ImportanceBoundarySampler(0.3, mode="scale")
+        assert not any(
+            isinstance(v, np.ndarray) for v in vars(sampler).values()
+        )
+        assert len(pickle.dumps(sampler)) < 256
+
+
+class TestMakeSampler:
+    def test_dispatch(self):
+        assert isinstance(make_sampler("bns", 0.5), BoundaryNodeSampler)
+        assert isinstance(
+            make_sampler("importance", 0.5), ImportanceBoundarySampler
+        )
+        assert isinstance(make_sampler("bes", 0.5), BoundaryEdgeSampler)
+        assert isinstance(make_sampler("dropedge", 0.5), DropEdgeSampler)
+        assert isinstance(make_sampler("full", 0.5), FullBoundarySampler)
+
+    def test_p_one_collapses_to_full(self):
+        assert isinstance(make_sampler("bns", 1.0), FullBoundarySampler)
+        assert isinstance(make_sampler("importance", 1.0), FullBoundarySampler)
+
+    def test_mode_and_p_min_threaded(self):
+        s = make_sampler("importance", 0.2, mode="scale", p_min=0.01)
+        assert s.mode == "scale" and s.p_min == 0.01
+        assert make_sampler("bns", 0.2, mode="scale").mode == "scale"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("magic", 0.5)
+
+
+class TestSamplingOpsAccounting:
+    """plan_sampling_ops: built-in plans record exact counts; custom
+    samplers with materialised operators get the documented fallback."""
+
+    def test_custom_sparseop_plan_fallback(self, rank_data):
+        """A custom sampler may return a plain SparseOp: ops fall back
+        to the boundary draws plus the extra (boundary) nnz."""
+        kept = np.arange(0, rank_data.n_boundary, 2, dtype=np.int64)
+        prop = SparseOp(explicit_stacked_operator(rank_data, kept, "scale", 0.5))
+        plan = EpochPlan(
+            prop=prop, kept_positions=kept, sampling_seconds=0.0,
+            sampling_ops=None,
+        )
+        expected = rank_data.n_boundary + (prop.nnz - rank_data.p_in.nnz)
+        assert plan_sampling_ops(rank_data, plan) == expected
+
+    def test_custom_plan_smaller_than_inner_clamps_to_zero_extra(
+        self, rank_data
+    ):
+        """An operator with no boundary columns must not go negative."""
+        plan = EpochPlan(
+            prop=SparseOp(rank_data.p_in),
+            kept_positions=np.empty(0, dtype=np.int64),
+            sampling_seconds=0.0, sampling_ops=None,
+        )
+        assert plan_sampling_ops(rank_data, plan) == rank_data.n_boundary
+
+    def test_recorded_ops_pass_through(self, rank_data):
+        plan = BoundaryNodeSampler(0.5).plan(rank_data, fresh_rng(0))
+        assert plan_sampling_ops(rank_data, plan) == plan.sampling_ops
+
+    @given(st.floats(min_value=0.05, max_value=0.95), st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_property_ops_cover_kept_boundary_work(self, p, seed):
+        """Every drawing sampler touched at least the boundary columns
+        it kept (their edges) — the device-scale accounting can never
+        under-report the work of the plan it produced."""
+        rd = self._rank_data
+        for sampler in (
+            BoundaryNodeSampler(p),
+            ImportanceBoundarySampler(p),
+            BoundaryEdgeSampler(p),
+            DropEdgeSampler(p),
+        ):
+            plan = sampler.plan(rd, fresh_rng(seed))
+            ops = plan_sampling_ops(rd, plan)
+            assert ops >= plan.prop.boundary_nnz
+            assert ops >= len(plan.kept_positions)
+
+    def test_full_sampler_records_zero_ops(self, rank_data):
+        """The cached p=1 plan did no sampling work at all."""
+        plan = FullBoundarySampler().plan(rank_data, fresh_rng(0))
+        assert plan.sampling_ops == 0
+        assert plan_sampling_ops(rank_data, plan) == 0
 
     @pytest.fixture(autouse=True)
     def _attach(self, rank_data):

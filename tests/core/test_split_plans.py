@@ -12,6 +12,7 @@ from repro.core import (
     BoundaryNodeSampler,
     DropEdgeSampler,
     FullBoundarySampler,
+    ImportanceBoundarySampler,
     PartitionRuntime,
     explicit_stacked_operator,
 )
@@ -209,8 +210,36 @@ class TestDegenerateAndEmpty:
             for sampler in (
                 FullBoundarySampler(),
                 BoundaryNodeSampler(0.3),
+                ImportanceBoundarySampler(0.3),
                 BoundaryEdgeSampler(0.3),
                 DropEdgeSampler(0.3),
             ):
                 plan = sampler.plan(rank_data, np.random.default_rng(2))
                 assert isinstance(plan.prop, SplitOperator)
+
+
+class TestImportanceEquivalence:
+    """Importance plans vs the legacy explicit construction, both
+    modes, on the boundary-heavy random partition."""
+
+    @pytest.mark.parametrize("mode", ["renorm", "scale"])
+    @pytest.mark.parametrize("p", [0.1, 0.4, 0.9])
+    def test_spmm_matches_explicit(self, runtimes, mode, p):
+        for rank_data in runtimes[(1, "random")].ranks:
+            sampler = ImportanceBoundarySampler(p, mode=mode)
+            plan = sampler.plan(rank_data, np.random.default_rng(13))
+            pi = rank_data.boundary_keep_probs(p, sampler.p_min, mode)
+            rate = pi[plan.kept_positions] if mode == "scale" else p
+            explicit = explicit_stacked_operator(
+                rank_data, plan.kept_positions, mode, rate=rate
+            )
+            h = features_for(rank_data, plan.kept_positions, seed=17)
+            np.testing.assert_allclose(
+                plan.prop.matmul(h), explicit @ h, atol=ATOL
+            )
+            g = np.random.default_rng(19).normal(
+                size=(rank_data.n_inner, 3)
+            )
+            np.testing.assert_allclose(
+                plan.prop.rmatmul(g), explicit.T @ g, atol=ATOL
+            )

@@ -6,33 +6,43 @@ import pytest
 from repro.core import PartitionRuntime
 from repro.core.variance import (
     OneStepProblem,
+    _fastgcn_estimate_loop,
     analytic_bounds,
     bns_estimate,
     empirical_variance,
     fastgcn_estimate,
     gamma_bound,
     graphsage_estimate,
+    importance_analytic_bound,
+    importance_bns_estimate,
     ladies_estimate,
 )
 from repro.partition import partition_graph
 
 
+def _problem_for(rank, dtype=np.float64, d=8, d_out=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return OneStepProblem(
+        p_in=rank.p_in.astype(dtype),
+        p_bd=rank.p_bd.astype(dtype),
+        a_in=rank.a_in.astype(dtype),
+        a_bd=rank.a_bd.astype(dtype),
+        h_in=rng.normal(size=(rank.n_inner, d)).astype(dtype),
+        h_bd=rng.normal(size=(rank.n_boundary, d)).astype(dtype),
+        weight=(rng.normal(size=(d, d_out)) / np.sqrt(d)).astype(dtype),
+    )
+
+
 @pytest.fixture(scope="module")
-def problem(small_graph):
+def biggest_rank(small_graph):
     part = partition_graph(small_graph, 3, method="metis", seed=0)
     runtime = PartitionRuntime(small_graph, part)
-    rank = max(runtime.ranks, key=lambda r: r.n_boundary)
-    rng = np.random.default_rng(0)
-    d, d_out = 8, 6
-    return OneStepProblem(
-        p_in=rank.p_in,
-        p_bd=rank.p_bd,
-        a_in=rank.a_in,
-        a_bd=rank.a_bd,
-        h_in=rng.normal(size=(rank.n_inner, d)),
-        h_bd=rng.normal(size=(rank.n_boundary, d)),
-        weight=rng.normal(size=(d, d_out)) / np.sqrt(d),
-    )
+    return max(runtime.ranks, key=lambda r: r.n_boundary)
+
+
+@pytest.fixture(scope="module")
+def problem(biggest_rank):
+    return _problem_for(biggest_rank)
 
 
 class TestEstimatorsBasics:
@@ -114,6 +124,142 @@ class TestVarianceOrdering:
             lambda rng: graphsage_estimate(problem, 3, rng), problem.exact, 30
         )
         assert v > 0
+
+
+class TestFastGCNVectorised:
+    """The MC harness's hot path: one column-scaled SpMM must equal the
+    retired per-column rank-1 update loop at a fixed seed."""
+
+    @pytest.mark.parametrize("s", [5, 40, 200])
+    def test_matches_loop_reference(self, problem, s):
+        fast = fastgcn_estimate(problem, s, np.random.default_rng(42))
+        loop = _fastgcn_estimate_loop(problem, s, np.random.default_rng(42))
+        np.testing.assert_allclose(fast, loop, rtol=0.0, atol=1e-12)
+
+    def test_matches_loop_with_explicit_q(self, problem):
+        n_all = problem.p_all.shape[1]
+        q = np.random.default_rng(1).random(n_all) + 0.1
+        q /= q.sum()
+        fast = fastgcn_estimate(problem, 50, np.random.default_rng(7), q=q)
+        loop = _fastgcn_estimate_loop(
+            problem, 50, np.random.default_rng(7), q=q
+        )
+        np.testing.assert_allclose(fast, loop, rtol=0.0, atol=1e-12)
+
+    def test_ladies_unchanged(self, problem):
+        """LADIES rides the same path; its support restriction and draw
+        order are untouched."""
+        est = ladies_estimate(problem, 30, np.random.default_rng(3))
+        assert est.shape == problem.exact.shape
+        assert np.isfinite(est).all()
+
+
+class TestImportanceEstimator:
+    def test_invalid_p(self, problem):
+        with pytest.raises(ValueError):
+            importance_bns_estimate(problem, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            importance_bns_estimate(
+                problem, 0.5, np.random.default_rng(0), mode="nope"
+            )
+
+    def test_p1_exact(self, problem):
+        est = importance_bns_estimate(
+            problem, 1.0, np.random.default_rng(0), mode="scale"
+        )
+        np.testing.assert_allclose(est, problem.exact, atol=1e-10)
+
+    def test_scale_unbiased(self, problem):
+        draws = 300
+        total = np.zeros_like(problem.exact)
+        for s in range(draws):
+            total += importance_bns_estimate(
+                problem, 0.4, np.random.default_rng(s), "scale"
+            )
+        err = np.abs(total / draws - problem.exact).max()
+        assert err < 0.1 * np.abs(problem.exact).max() + 0.05
+
+    def test_lower_variance_than_uniform_scale(self, problem):
+        """The tentpole claim at unit-test scale: matched expected kept
+        count, strictly less empirical variance."""
+        p, draws = 0.2, 150
+        v_uni = empirical_variance(
+            lambda rng: bns_estimate(problem, p, rng, "scale"),
+            problem.exact, draws,
+        )
+        v_imp = empirical_variance(
+            lambda rng: importance_bns_estimate(problem, p, rng, "scale"),
+            problem.exact, draws,
+        )
+        assert v_imp < v_uni
+
+    def test_empirical_below_importance_bound(self, problem):
+        p = 0.3
+        v = empirical_variance(
+            lambda rng: importance_bns_estimate(problem, p, rng, "scale"),
+            problem.exact, 150,
+        )
+        assert v <= importance_analytic_bound(problem, p)
+
+    def test_importance_bound_below_uniform_appendix_bound(self, problem):
+        """Concentrating π on the heavy columns shrinks the exact
+        Σ(1/π−1)·mass expression relative to uniform π ≡ p."""
+        p = 0.2
+        imp = importance_analytic_bound(problem, p)
+        uni = analytic_bounds(problem, p)["BNS-GCN (appendix bound)"]
+        assert imp < uni
+
+    def test_renorm_mode_runs(self, problem):
+        v = empirical_variance(
+            lambda rng: importance_bns_estimate(problem, 0.3, rng, "renorm"),
+            problem.exact, 40,
+        )
+        assert np.isfinite(v) and v > 0
+
+
+class TestDtypeFollowsProblem:
+    """Estimator buffers and outputs follow the feature dtype — no
+    silent fp64 upcasts of an fp32 problem (PR 3's discipline)."""
+
+    @pytest.fixture(scope="class")
+    def problem32(self, biggest_rank):
+        return _problem_for(biggest_rank, dtype=np.float32)
+
+    @pytest.mark.parametrize(
+        "estimate",
+        [
+            lambda pr, rng: bns_estimate(pr, 0.4, rng, "scale"),
+            lambda pr, rng: bns_estimate(pr, 0.4, rng, "renorm"),
+            lambda pr, rng: importance_bns_estimate(pr, 0.4, rng, "scale"),
+            lambda pr, rng: importance_bns_estimate(pr, 0.4, rng, "renorm"),
+            lambda pr, rng: fastgcn_estimate(pr, 30, rng),
+            lambda pr, rng: _fastgcn_estimate_loop(pr, 30, rng),
+            lambda pr, rng: ladies_estimate(pr, 30, rng),
+            lambda pr, rng: graphsage_estimate(pr, 3, rng),
+        ],
+        ids=[
+            "bns-scale", "bns-renorm", "imp-scale", "imp-renorm",
+            "fastgcn", "fastgcn-loop", "ladies", "graphsage",
+        ],
+    )
+    def test_fp32_in_fp32_out(self, problem32, estimate):
+        out = estimate(problem32, np.random.default_rng(0))
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+
+    def test_exact_is_fp32(self, problem32):
+        assert problem32.exact.dtype == np.float32
+
+    def test_empirical_variance_on_fp32_problem(self, problem32):
+        v = empirical_variance(
+            lambda rng: bns_estimate(problem32, 0.4, rng, "scale"),
+            problem32.exact, 25,
+        )
+        assert np.isfinite(v) and v > 0
+
+    def test_fp64_stays_fp64(self, problem):
+        out = fastgcn_estimate(problem, 30, np.random.default_rng(0))
+        assert out.dtype == np.float64
 
 
 class TestAppendixBound:

@@ -23,7 +23,11 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import PipelinedTrainer
-from repro.core.sampler import BoundaryNodeSampler, FullBoundarySampler
+from repro.core.sampler import (
+    BoundaryNodeSampler,
+    FullBoundarySampler,
+    ImportanceBoundarySampler,
+)
 from repro.core.trainer import DistributedTrainer
 from repro.dist.executor import ProcessRankExecutor
 from repro.graph.generators import SyntheticSpec, generate_graph
@@ -122,6 +126,19 @@ class TestMultiprocessPipelined:
         )
         _assert_equivalent(sim, dist)
 
+    def test_pipelined_importance_4rank(self, graph, partition):
+        """Importance-weighted sampling under staleness-1: the workers
+        derive π locally and the stale exchanges still match the
+        simulated PipelinedTrainer byte for byte."""
+        sim = _sim_pipelined_run(
+            graph, partition, ImportanceBoundarySampler(0.4)
+        )
+        dist = _executor_run(
+            graph, partition, ImportanceBoundarySampler(0.4),
+            "multiprocess", timeout=240.0,
+        )
+        _assert_equivalent(sim, dist)
+
 
 class TestLocalPipelined:
     """Thread-backed pipelined runs: fast enough to sweep configs."""
@@ -143,6 +160,17 @@ class TestLocalPipelined:
         sim = _sim_pipelined_run(graph, partition, BoundaryNodeSampler(0.0))
         dist = _executor_run(
             graph, partition, BoundaryNodeSampler(0.0), "local"
+        )
+        _assert_equivalent(sim, dist)
+
+    def test_importance_scale_mode(self, graph, partition):
+        """HT-weighted stale operators (vector col_scale) pipeline too."""
+        sim = _sim_pipelined_run(
+            graph, partition, ImportanceBoundarySampler(0.4, mode="scale")
+        )
+        dist = _executor_run(
+            graph, partition,
+            ImportanceBoundarySampler(0.4, mode="scale"), "local",
         )
         _assert_equivalent(sim, dist)
 

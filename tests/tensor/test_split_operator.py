@@ -50,6 +50,79 @@ class TestStructure:
         assert op.col_scale is None
 
 
+class TestVectorColScale:
+    """Per-column scale vectors (importance sampling's HT weights)."""
+
+    def make_op(self, seed=20, row_scale=False):
+        inner, bd = make_blocks(seed=seed)
+        kept = np.array([0, 2, 3])
+        cs = np.array([0.5, 2.0, 4.0])
+        rs = (
+            np.abs(np.random.default_rng(seed + 1).normal(size=7)) + 0.1
+            if row_scale else None
+        )
+        op = SplitOperator.select(inner, bd, kept, row_scale=rs, col_scale=cs)
+        manual = sp.hstack([inner, bd[:, kept] @ sp.diags(cs)])
+        if rs is not None:
+            manual = sp.diags(rs) @ manual
+        return op, manual.tocsr(), cs
+
+    def test_csr_matches_manual_diag(self):
+        op, manual, _ = self.make_op(row_scale=True)
+        np.testing.assert_allclose(op.toarray(), manual.toarray(), atol=1e-12)
+
+    @pytest.mark.parametrize("row_scale", [False, True])
+    def test_forward_backward_match_stacked(self, row_scale):
+        op, manual, _ = self.make_op(seed=21, row_scale=row_scale)
+        h = np.random.default_rng(1).normal(size=(op.shape[1], 5))
+        np.testing.assert_allclose(op.matmul(h), manual @ h, atol=1e-12)
+        g = np.random.default_rng(2).normal(size=(7, 5))
+        np.testing.assert_allclose(op.rmatmul(g), manual.T @ g, atol=1e-12)
+
+    def test_vector_operand(self):
+        op, manual, _ = self.make_op(seed=22)
+        ones = np.ones(op.shape[1])
+        np.testing.assert_allclose(op.matmul(ones), manual @ ones, atol=1e-12)
+        g = np.ones(7)
+        np.testing.assert_allclose(op.rmatmul(g), manual.T @ g, atol=1e-12)
+
+    def test_astype_casts_vector(self):
+        op, _, _ = self.make_op(seed=23)
+        op32 = op.astype(np.float32)
+        assert op32.col_scale.dtype == np.float32
+        h = np.random.default_rng(3).normal(size=(op.shape[1], 2)).astype(
+            np.float32
+        )
+        assert op32.matmul(h).dtype == np.float32
+
+    def test_wrong_length_vector_rejected(self):
+        inner, bd = make_blocks()
+        with pytest.raises(ValueError, match="col_scale"):
+            SplitOperator.select(
+                inner, bd, np.array([0, 1]), col_scale=np.array([1.0])
+            )
+
+    def test_empty_boundary_drops_col_scale(self):
+        inner, bd = make_blocks()
+        op = SplitOperator.select(
+            inner, bd, np.empty(0, dtype=np.int64),
+            col_scale=np.empty(0),
+        )
+        assert op.col_scale is None
+
+    def test_autograd_through_vector_scale(self):
+        inner, bd = make_blocks(seed=24)
+        kept = np.array([1, 4])
+        cs = np.array([3.0, 0.25])
+        op = SplitOperator.select(inner, bd, kept, col_scale=cs)
+        h = Tensor(np.random.default_rng(5).normal(size=(op.shape[1], 3)),
+                   requires_grad=True)
+        out = spmm(op, h)
+        w = np.random.default_rng(6).normal(size=out.shape)
+        (out * Tensor(w)).sum().backward()
+        np.testing.assert_allclose(h.grad, op.csr.T @ w, atol=1e-9)
+
+
 class TestSplitSpmm:
     @pytest.mark.parametrize("row_scale", [False, True])
     @pytest.mark.parametrize("col_scale", [None, 3.0])
