@@ -22,7 +22,13 @@ problem sizes, so the comparison sticks to quantities that travel:
   ``sampler_planning.importance_over_bns_cost`` ratio (same machine,
   same run, so it travels) must not exceed ``--plan-cost-tolerance``.
   A regression here means π stopped being served from the rank-level
-  cache and planning went superlinear.
+  cache and planning went superlinear;
+* **the fused-kernel invariant** — the fused numpy kernel's forward
+  must stay within ``--fused-tolerance`` of the stacked CSR matmul on
+  the same plan (``spmm_backend.*.fused_over_stacked``, a same-run
+  ratio that travels).  A regression here means the operator stopped
+  serving the cached merged CSR and every epoch went back to paying
+  the two-pass split gap.
 
 Usage:
     python benchmarks/check_perf_regression.py FRESH.json \
@@ -68,6 +74,11 @@ def main() -> int:
                     help="allowed importance/uniform BNS plan-cost ratio "
                          "(sampler_planning section): importance planning "
                          "must stay O(boundary) like BNS")
+    ap.add_argument("--fused-tolerance", type=float, default=1.35,
+                    help="allowed fused-numpy/stacked forward SpMM ratio "
+                         "(spmm_backend section) — generous enough for "
+                         "smoke-size noise, tight enough to catch the "
+                         "fused path regressing to two-pass cost")
     ap.add_argument("--blocked-margin", type=float, default=0.10,
                     help="additive noise margin on the blocked-fraction "
                          "invariant — wide enough that scheduler jitter "
@@ -99,6 +110,24 @@ def main() -> int:
                 "sampler planning regression: importance/bns plan cost "
                 f"ratio {plan_ratio:.3f} exceeds {args.plan_cost_tolerance}"
             )
+
+    if "spmm_backend" not in fresh_all:
+        failures.append("fresh run has no 'spmm_backend' section")
+    else:
+        for label in ("fp64", "fp32"):
+            fused_ratio = float(
+                fresh_all["spmm_backend"][label]["fused_over_stacked"]
+            )
+            print(
+                f"fused kernel [{label}]: fused/stacked forward ratio "
+                f"{fused_ratio:.3f}  allowed <= {args.fused_tolerance:.2f}"
+            )
+            if fused_ratio > args.fused_tolerance:
+                failures.append(
+                    f"fused kernel regression [{label}]: fused/stacked "
+                    f"forward ratio {fused_ratio:.3f} exceeds "
+                    f"{args.fused_tolerance}"
+                )
 
     sync_frac = float(fresh["synchronous_blocked_fraction"])
     pipe_frac = float(fresh["pipelined_blocked_fraction"])

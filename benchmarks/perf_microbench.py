@@ -193,6 +193,90 @@ def time_spmm_dtypes(runtime, p: float, reps: int, d: int = 64) -> dict:
     }
 
 
+def time_spmm_backends(runtime, p: float, reps: int, d: int = 64) -> dict:
+    """Kernel backend shoot-out on the same plan: stacked CSR vs the
+    two-pass ``split`` reference vs the fused one-pass kernels, forward
+    and backward, at fp64 and fp32.
+
+    The fused numpy kernel's cached merge/transpose builds are timed
+    separately (they amortise over layers x epochs x directions); the
+    per-call numbers are steady state.  ``fused_over_stacked`` is the
+    guarded ratio: the fused forward must stay within a small factor of
+    the stacked matmul — the two-pass split path's 25-40% gap is the
+    thing this backend closes.
+    """
+    from repro.tensor.kernels import available_backends, resolve_backend
+
+    rank = max(runtime.ranks, key=lambda r: r.n_boundary)
+    plan = BoundaryNodeSampler(p).plan(rank, np.random.default_rng(33))
+    out = {"d": d, "reps": reps, "backends": sorted(available_backends())}
+    for label, dtype in (("fp64", np.float64), ("fp32", np.float32)):
+        op = plan.prop.astype(dtype)
+        h = np.random.default_rng(34).normal(
+            size=(op.shape[1], d)).astype(dtype)
+        g = np.random.default_rng(35).normal(
+            size=(op.shape[0], d)).astype(dtype)
+        stacked = op.csr  # materialised once, outside the timers
+        stacked_t = stacked.T.tocsr()
+        # One-off fused preparation, measured before the caches warm.
+        t0 = time.perf_counter()
+        op.fused_csr
+        build_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        op.fused_csr_t
+        build_t_ms = (time.perf_counter() - t0) * 1e3
+        section = {
+            "fused_build_ms": round(build_ms, 4),
+            "fused_build_t_ms": round(build_t_ms, 4),
+        }
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            stacked @ h
+        section["stacked_fwd_ms"] = round(
+            (time.perf_counter() - t0) / reps * 1e3, 4)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            stacked_t @ g
+        section["stacked_bwd_ms"] = round(
+            (time.perf_counter() - t0) / reps * 1e3, 4)
+        ref_fwd = stacked @ h
+        for name in out["backends"]:
+            backend = resolve_backend(name)
+            backend.split_spmm_forward(op, h)  # warm (numba jit, caches)
+            backend.split_spmm_backward(op, g)
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fwd = backend.split_spmm_forward(op, h)
+            section[f"{name}_fwd_ms"] = round(
+                (time.perf_counter() - t0) / reps * 1e3, 4)
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                backend.split_spmm_backward(op, g)
+            section[f"{name}_bwd_ms"] = round(
+                (time.perf_counter() - t0) / reps * 1e3, 4)
+            err = float(np.abs(fwd - ref_fwd).max())
+            assert err < (1e-9 if dtype is np.float64 else 1e-3), (
+                f"backend {name} diverged from stacked reference: {err}")
+        section["fused_over_stacked"] = round(
+            section["numpy_fwd_ms"] / section["stacked_fwd_ms"], 3)
+        section["fused_over_split_fwdbwd"] = round(
+            (section["numpy_fwd_ms"] + section["numpy_bwd_ms"])
+            / (section["split_fwd_ms"] + section["split_bwd_ms"]), 3)
+        out[label] = section
+        msg = "  ".join(
+            f"{name} {section[f'{name}_fwd_ms']:.3f}/"
+            f"{section[f'{name}_bwd_ms']:.3f}"
+            for name in sorted(available_backends())
+        )
+        print(
+            f"spmm backends [{label}] fwd/bwd ms: "
+            f"stacked {section['stacked_fwd_ms']:.3f}/"
+            f"{section['stacked_bwd_ms']:.3f}  {msg}  "
+            f"fused/stacked {section['fused_over_stacked']:.2f}x"
+        )
+    return out
+
+
 def dtype_wire_ledger(parts: int, seed: int) -> dict:
     """Per-tag metered bytes of one seeded epoch at fp64 vs fp32.
 
@@ -440,6 +524,9 @@ def main() -> int:
         f"SpMM dtype: fp64 {results['spmm_dtype']['fp64_ms']:.3f} ms  "
         f"fp32 {results['spmm_dtype']['fp32_ms']:.3f} ms  "
         f"speedup {results['spmm_dtype']['speedup']:.2f}x"
+    )
+    results["spmm_backend"] = time_spmm_backends(
+        runtime, args.p, reps=10 if args.smoke else 30
     )
     results["dtype_wire_ledger"] = dtype_wire_ledger(
         parts=min(args.parts, 4), seed=args.seed

@@ -37,6 +37,8 @@ from .nn.checkpoint import load_checkpoint, save_checkpoint
 from .nn.models import GATModel, GCNModel, GraphSAGEModel
 from .nn.schedulers import CosineAnnealingLR, StepLR
 from .partition import partition_graph
+from .tensor import get_backend, set_backend
+from .tensor.kernels import backend_names as kernel_backend_names
 
 __all__ = [
     "build_parser",
@@ -89,6 +91,15 @@ def _common_options() -> argparse.ArgumentParser:
              "the byte ledger meters the chosen scalar width (8 B fp64, "
              "4 B fp32).  Defaults to the library default (REPRO_DTYPE "
              "env var, else float64)",
+    )
+    common.add_argument(
+        "--kernel-backend", default=None, choices=kernel_backend_names(),
+        help="split-SpMM kernel implementation: numpy (fused one-pass, "
+             "the default), split (two-pass reference) or numba (jitted "
+             "fused traversal; needs the optional numba package).  "
+             "Defaults to the library default (REPRO_KERNEL_BACKEND env "
+             "var, else numpy); dist-train workers resolve the same "
+             "backend rank-side",
     )
     common.add_argument("--n-hidden", type=int, default=64)
     common.add_argument("--n-layers", type=int, default=2)
@@ -196,6 +207,11 @@ def dist_train_main(argv: Sequence[str]) -> int:
     args = parser.parse_args(argv)
     if args.n_epochs < 1:
         parser.error(f"--n-epochs must be >= 1, got {args.n_epochs}")
+    if args.kernel_backend:
+        # Fail fast on an unavailable backend, and make the choice the
+        # process default so every code path (including evaluation)
+        # runs the same kernels the workers will resolve rank-side.
+        set_backend(args.kernel_backend)
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if not args.quiet:
         print(f"loaded {graph}")
@@ -216,7 +232,7 @@ def dist_train_main(argv: Sequence[str]) -> int:
         aggregation="sym" if args.model == "gcn" else "mean",
         schedule=args.schedule,
         allreduce_algorithm=args.allreduce, timeout=args.timeout,
-        dtype=args.dtype,
+        dtype=args.dtype, kernel_backend=args.kernel_backend,
     )
     if not args.quiet:
         print(
@@ -234,6 +250,7 @@ def dist_train_main(argv: Sequence[str]) -> int:
     rows = [
         ["transport", executor.transport.name],
         ["schedule", args.schedule],
+        ["kernel backend", executor.kernel_backend.name],
         ["dtype", f"{executor.dtype} ({executor.transport.bytes_per_scalar} B/scalar)"],
         ["test score", f"{scores['test']:.4f}"],
         ["val score", f"{scores['val']:.4f}"],
@@ -255,6 +272,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arg_list and arg_list[0] == "dist-train":
         return dist_train_main(arg_list[1:])
     args = build_parser().parse_args(arg_list)
+    if args.kernel_backend:
+        # One process-wide switch covers every trainer (including the
+        # GAT path, which drives its split operators through the same
+        # registry) and fails fast when the backend is unavailable.
+        set_backend(args.kernel_backend)
 
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if not args.quiet:
@@ -298,7 +320,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             graph, partition, model, sampler, lr=args.lr, seed=args.seed,
             cluster=RTX2080TI_CLUSTER,
             aggregation="sym" if args.model == "gcn" else "mean",
-            dtype=args.dtype,
+            dtype=args.dtype, kernel_backend=args.kernel_backend,
         )
 
     if args.resume:
@@ -331,7 +353,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"checkpoint written to {path}")
 
     scores = trainer.evaluate()
+    backend = getattr(trainer, "kernel_backend", None)
     rows = [
+        ["kernel backend", backend.name if backend is not None else get_backend().name],
         ["dtype", f"{trainer.dtype} ({trainer.comm.bytes_per_scalar} B/scalar)"],
         ["test score", f"{scores['test']:.4f}"],
         ["val score", f"{scores['val']:.4f}"],

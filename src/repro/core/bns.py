@@ -25,7 +25,7 @@ import scipy.sparse as sp
 from ..graph.graph import Graph
 from ..graph.propagation import mean_aggregation, safe_inverse, sym_norm
 from ..partition.types import PartitionResult
-from ..tensor import SplitOperator, resolve_dtype
+from ..tensor import SplitOperator, resolve_backend, resolve_dtype
 
 __all__ = ["RankData", "PartitionRuntime"]
 
@@ -248,6 +248,14 @@ class PartitionRuntime:
     (and therefore every epoch plan's operator): float32 halves the
     operator memory and roughly doubles SpMM throughput.  The default
     is the library default (float64 unless changed).
+
+    ``kernel_backend`` names the split-SpMM kernel implementation
+    (:mod:`repro.tensor.kernels`) every epoch plan built on this
+    runtime should run under; ``None`` resolves to the process default
+    (``REPRO_KERNEL_BACKEND`` env, else the fused ``numpy`` kernels).
+    The runtime only *holds* the resolved backend — the trainers scope
+    it around their epoch bodies, and the distributed executor ships
+    its name so workers resolve the same backend rank-side.
     """
 
     def __init__(
@@ -256,8 +264,10 @@ class PartitionRuntime:
         partition: PartitionResult,
         aggregation: str = "mean",
         dtype=None,
+        kernel_backend=None,
     ) -> None:
         self.dtype = resolve_dtype(dtype)
+        self.kernel_backend = resolve_backend(kernel_backend)
         if aggregation == "mean":
             prop = mean_aggregation(graph.adj, dtype=self.dtype)
         elif aggregation == "sym":

@@ -85,10 +85,11 @@ class PipelinedTrainer(DistributedTrainer):
         aggregation: str = "mean",
         transport=None,
         dtype=None,
+        kernel_backend=None,
     ) -> None:
         super().__init__(
             graph, partition, model, sampler, lr, seed, cluster, optimizer,
-            aggregation, transport, dtype,
+            aggregation, transport, dtype, kernel_backend,
         )
         # _stale[layer][rank]: that rank's input features to `layer` as
         # of the previous epoch (None until the warm-up epoch fills it).
@@ -113,8 +114,9 @@ class PipelinedTrainer(DistributedTrainer):
         self._stale_grads = []
 
     # ------------------------------------------------------------------
-    def train_epoch(self) -> float:
-        """One pipelined iteration.
+    def _train_epoch(self) -> float:
+        """One pipelined iteration (runs under the trainer's kernel
+        backend via :meth:`DistributedTrainer.train_epoch`).
 
         Identical to Algorithm 1 except that the layer-ℓ boundary
         gather for epoch ``t`` reads the owners' layer-ℓ inputs of

@@ -54,6 +54,7 @@ from ..tensor import (
     gather_rows,
     no_grad,
     relu,
+    use_backend,
 )
 from .bns import PartitionRuntime, RankData
 from .sampler import BoundarySampler, FullBoundarySampler, plan_sampling_ops
@@ -118,6 +119,13 @@ class DistributedTrainer:
         construction: a default transport's ``bytes_per_scalar`` is the
         actual scalar width shipped, not an assumed 4 bytes.  Given
         explicitly, the model is cast to it in place.
+    kernel_backend:
+        Split-SpMM kernel implementation
+        (:mod:`repro.tensor.kernels`) the epoch bodies run under —
+        ``"numpy"`` (fused one-pass, the default), ``"split"``
+        (two-pass reference) or ``"numba"`` (jitted, optional import).
+        ``None`` resolves to the process default
+        (``REPRO_KERNEL_BACKEND``).
     """
 
     def __init__(
@@ -133,12 +141,15 @@ class DistributedTrainer:
         aggregation: str = "mean",
         transport: Optional[Transport] = None,
         dtype=None,
+        kernel_backend=None,
     ) -> None:
         self.dtype = resolve_model_dtype(model, dtype, optimizer)
         self.graph = graph
         self.runtime = PartitionRuntime(
-            graph, partition, aggregation=aggregation, dtype=self.dtype
+            graph, partition, aggregation=aggregation, dtype=self.dtype,
+            kernel_backend=kernel_backend,
         )
+        self.kernel_backend = self.runtime.kernel_backend
         self.model = model
         self.sampler = sampler or FullBoundarySampler()
         self.comm = resolve_transport(
@@ -171,7 +182,15 @@ class DistributedTrainer:
 
     # ------------------------------------------------------------------
     def train_epoch(self) -> float:
-        """One iteration of Algorithm 1's outer loop; returns the loss."""
+        """One iteration of Algorithm 1's outer loop; returns the loss.
+
+        The whole epoch body (forward SpMMs and the backward through
+        the tape) runs under this trainer's kernel backend.
+        """
+        with use_backend(self.kernel_backend):
+            return self._train_epoch()
+
+    def _train_epoch(self) -> float:
         self.model.train()
         self.comm.reset()
         m = self.num_parts

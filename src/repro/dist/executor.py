@@ -83,7 +83,7 @@ from ..nn.models import GCNModel, GraphSAGEModel
 from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam
 from ..partition.types import PartitionResult
-from ..tensor import Tensor, concat_rows, gather_rows, no_grad, relu
+from ..tensor import Tensor, concat_rows, gather_rows, no_grad, relu, use_backend
 from .cost_model import layer_flops
 from .transport import Endpoint, resolve_transport
 
@@ -128,6 +128,10 @@ class _RankTask:
     allreduce_algorithm: str
     dtype: str = "float64"
     schedule: str = "synchronous"
+    #: Kernel-backend *name* (never the instance): the worker resolves
+    #: it against its own registry, so a rank in a fresh process runs
+    #: the same kernels as the parent regardless of start method.
+    kernel_backend: str = "numpy"
 
 
 @dataclass
@@ -446,6 +450,11 @@ class _RankLoop:
 
 def _run_rank(ep: Endpoint, task: _RankTask) -> _RankOutcome:
     """One rank's whole training loop (runs inside a thread or process)."""
+    with use_backend(task.kernel_backend):
+        return _run_rank_epochs(ep, task)
+
+
+def _run_rank_epochs(ep: Endpoint, task: _RankTask) -> _RankOutcome:
     loop = _RankLoop(ep, task)
     epoch_fn = (
         loop.pipelined_epoch if task.schedule == "pipelined"
@@ -522,6 +531,15 @@ class ProcessRankExecutor:
         shard — operator blocks, features, replica, gradients — ships
         and computes in this dtype, and the transport meters its actual
         scalar width.
+    kernel_backend:
+        Split-SpMM kernel implementation
+        (:mod:`repro.tensor.kernels`) every rank's epoch body runs
+        under.  Resolved parent-side (so an unavailable backend fails
+        fast, before any worker launches) and shipped to the workers by
+        *name* — each rank re-resolves it against its own registry, so
+        the same kernels run rank-side whatever the process start
+        method.  ``None`` → the process default
+        (``REPRO_KERNEL_BACKEND``).
     """
 
     def __init__(
@@ -538,6 +556,7 @@ class ProcessRankExecutor:
         allreduce_algorithm: str = "ring",
         timeout: float = 300.0,
         dtype=None,
+        kernel_backend=None,
     ) -> None:
         if isinstance(model, GraphSAGEModel):
             self._model_kind = "sage"
@@ -555,8 +574,10 @@ class ProcessRankExecutor:
         self.dtype = resolve_model_dtype(model, dtype)
         self.graph = graph
         self.runtime = PartitionRuntime(
-            graph, partition, aggregation=aggregation, dtype=self.dtype
+            graph, partition, aggregation=aggregation, dtype=self.dtype,
+            kernel_backend=kernel_backend,
         )
+        self.kernel_backend = self.runtime.kernel_backend
         self.model = model
         self.sampler = sampler or FullBoundarySampler()
         self.lr = lr
@@ -613,6 +634,7 @@ class ProcessRankExecutor:
                 allreduce_algorithm=self.allreduce_algorithm,
                 dtype=str(self.dtype),
                 schedule=self.schedule,
+                kernel_backend=self.kernel_backend.name,
             )
             for r in self.runtime.ranks
         ]

@@ -26,6 +26,15 @@ function compiles to.  The matrix values never require gradients
 (attention-weighted aggregation for GAT is built from edge-level ops in
 :mod:`repro.tensor.ops` instead), so the implementation stays simple
 and fast.
+
+*How* the split product is computed is delegated to the pluggable
+kernel registry in :mod:`repro.tensor.kernels`:
+``SplitOperator.matmul``/``rmatmul`` call the active backend's
+``split_spmm_forward``/``split_spmm_backward`` primitives (fused
+one-pass ``numpy`` by default; two-pass ``split`` reference; jitted
+``numba`` when importable), selected via ``REPRO_KERNEL_BACKEND``,
+:func:`~repro.tensor.kernels.set_backend` or the CLI's
+``--kernel-backend``.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from . import kernels
 from .dtype import float_dtype_like, resolve_dtype
 from .tensor import Tensor, as_tensor
 
@@ -55,7 +65,7 @@ class SparseOp:
         the module default.
     """
 
-    __slots__ = ("csr",)
+    __slots__ = ("csr", "_csr_t")
 
     def __init__(self, matrix: sp.spmatrix, dtype=None) -> None:
         if dtype is None:
@@ -63,6 +73,7 @@ class SparseOp:
         else:
             dtype = resolve_dtype(dtype)
         self.csr: sp.csr_matrix = sp.csr_matrix(matrix, dtype=dtype)
+        self._csr_t: Optional[sp.csr_matrix] = None
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -103,8 +114,17 @@ class SparseOp:
         """Concatenate two operators column-wise ([A | B])."""
         return SparseOp(sp.hstack([self.csr, other.csr], format="csr"))
 
+    @property
+    def csr_t(self) -> sp.csr_matrix:
+        """Cached CSR transpose — the SpMM backward multiplies by it on
+        every call, so the O(nnz) conversion happens once per operator
+        (mirroring ``SplitOperator.inner_t``), not once per forward."""
+        if self._csr_t is None:
+            self._csr_t = self.csr.T.tocsr()
+        return self._csr_t
+
     def transpose(self) -> "SparseOp":
-        return SparseOp(self.csr.T.tocsr())
+        return SparseOp(self.csr_t)
 
     def toarray(self) -> np.ndarray:
         return self.csr.toarray()
@@ -157,6 +177,8 @@ class SplitOperator:
         "_boundary_t",
         "_boundary_csr",
         "_csr",
+        "_fused_csr",
+        "_fused_csr_t",
     )
 
     def __init__(
@@ -196,6 +218,8 @@ class SplitOperator:
         self._boundary_t = None
         self._boundary_csr = None
         self._csr = None
+        self._fused_csr = None
+        self._fused_csr_t = None
 
     @classmethod
     def select(
@@ -308,45 +332,68 @@ class SplitOperator:
     def toarray(self) -> np.ndarray:
         return self.csr.toarray()
 
-    def _apply_col_scale(self, x: np.ndarray) -> np.ndarray:
-        """Scale the per-kept-column rows of ``x`` ((k, d) or (k,)) by
-        ``col_scale`` — a scalar broadcast or an elementwise vector."""
-        cs = self.col_scale
-        if np.ndim(cs) == 0 or x.ndim == 1:
-            return x * cs
-        return x * cs[:, None]
+    @property
+    def fused_csr(self) -> sp.csr_matrix:
+        """The merged, scale-folded CSR the fused numpy kernel runs on.
+
+        Numerically identical to :attr:`csr` but built in one
+        vectorised pass (:func:`~repro.tensor.kernels.merge_split_csr`)
+        and cached, so the per-plan build amortises over every layer's
+        forward/backward of every epoch the plan serves.
+        """
+        if self._fused_csr is None:
+            self._fused_csr = kernels.merge_split_csr(
+                self.inner, self.boundary_csr, self.row_scale, self.col_scale
+            )
+        return self._fused_csr
+
+    @property
+    def fused_csr_t(self) -> sp.csr_matrix:
+        """Cached CSR transpose of :attr:`fused_csr` (one pass per plan
+        for the fused backward, reused across layers and epochs)."""
+        if self._fused_csr_t is None:
+            self._fused_csr_t = self.fused_csr.T.tocsr()
+        return self._fused_csr_t
 
     def matmul(self, h: np.ndarray) -> np.ndarray:
-        """Split-form product ``P_eff @ h`` on a raw ndarray (no tape)."""
-        n_in = self.inner.shape[1]
-        out = self.inner @ h[:n_in]
-        if self.boundary is not None:
-            h_bd = h[n_in:]
-            if self.col_scale is not None:
-                h_bd = self._apply_col_scale(h_bd)
-            out += self.boundary_csr @ h_bd
-        if self.row_scale is not None:
-            out *= self.row_scale[:, None] if out.ndim == 2 else self.row_scale
-        return out
+        """Split-form product ``P_eff @ h`` on a raw ndarray (no tape),
+        computed by the active kernel backend."""
+        return kernels.get_backend().split_spmm_forward(self, h)
 
     def rmatmul(self, g: np.ndarray) -> np.ndarray:
-        """Transposed product ``P_eff.T @ g`` (the SpMM backward)."""
-        if self.row_scale is not None:
-            g = g * (self.row_scale[:, None] if g.ndim == 2 else self.row_scale)
-        n_in = self.inner.shape[1]
-        k = self.boundary.shape[1] if self.boundary is not None else 0
-        shape = (n_in + k,) + g.shape[1:]
-        out = np.empty(shape, dtype=g.dtype)
-        out[:n_in] = self.inner_t @ g
-        if self.boundary is not None:
-            d_bd = self.boundary_t @ g
-            if self.col_scale is not None:
-                d_bd = self._apply_col_scale(d_bd)
-            out[n_in:] = d_bd
-        return out
+        """Transposed product ``P_eff.T @ g`` (the SpMM backward),
+        computed by the active kernel backend."""
+        return kernels.get_backend().split_spmm_backward(self, g)
 
     def frobenius_norm_sq(self) -> float:
-        return float((self.csr.data ** 2).sum())
+        """||P_eff||_F^2 from the split blocks and scale vectors alone —
+        the stacked matrix is never materialised (the row/column
+        factors enter each stored entry squared)."""
+        inner = self.inner
+        sq = inner.data ** 2
+        if self.row_scale is not None:
+            sq = sq * np.repeat(self.row_scale, np.diff(inner.indptr)) ** 2
+        total = float(sq.sum())
+        if self.boundary is not None:
+            bd = self.boundary
+            sq = bd.data ** 2
+            if sp.isspmatrix_csc(bd):
+                rows, cols = bd.indices, np.repeat(
+                    np.arange(bd.shape[1]), np.diff(bd.indptr)
+                )
+            else:
+                bd = self.boundary_csr
+                sq = bd.data ** 2
+                rows, cols = np.repeat(
+                    np.arange(bd.shape[0]), np.diff(bd.indptr)
+                ), bd.indices
+            cs = self.col_scale
+            if cs is not None:
+                sq = sq * (cs * cs if np.ndim(cs) == 0 else np.asarray(cs)[cols] ** 2)
+            if self.row_scale is not None:
+                sq = sq * self.row_scale[rows] ** 2
+            total += float(sq.sum())
+        return total
 
     def __repr__(self) -> str:
         cs = self.col_scale
@@ -380,7 +427,7 @@ def spmm(op: AnyOp, dense: Tensor) -> Tensor:
         return Tensor._make(out_data, (dense,), "spmm", backward_split)
 
     out_data = op.csr @ dense.data
-    csr_t = op.csr.T.tocsr()
+    csr_t = op.csr_t  # cached on the operator, not rebuilt per forward
 
     def backward(g: np.ndarray):
         return ((dense, csr_t @ g),)
