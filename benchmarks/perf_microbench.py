@@ -319,9 +319,11 @@ def dtype_wire_ledger(parts: int, seed: int) -> dict:
     }
 
 
-def time_e2e_epoch(nodes: int, parts: int, epochs: int, seed: int) -> dict:
+def time_e2e_epoch(nodes: int, parts: int, epochs: int, seed: int,
+                   transport: str = "multiprocess") -> dict:
     """Measured (not modeled) end-to-end epochs: synchronous vs
-    pipelined schedules on real multiprocess ranks.
+    pipelined schedules on real process-backed ranks over the chosen
+    transport (pickling pipes or zero-copy shared-memory rings).
 
     A boundary-heavy random partition at p=1 (full boundary sets) is
     the worst case for synchronous exchanges — every layer of every
@@ -346,7 +348,7 @@ def time_e2e_epoch(nodes: int, parts: int, epochs: int, seed: int) -> dict:
         "nodes": nodes,
         "parts": parts,
         "epochs": epochs,
-        "transport": "multiprocess",
+        "transport": transport,
         "sampler": "full boundary (p=1)",
     }
     for schedule in ("synchronous", "pipelined"):
@@ -356,7 +358,7 @@ def time_e2e_epoch(nodes: int, parts: int, epochs: int, seed: int) -> dict:
         )
         executor = ProcessRankExecutor(
             graph, part, model, FullBoundarySampler(),
-            transport="multiprocess", seed=seed, schedule=schedule,
+            transport=transport, seed=seed, schedule=schedule,
             timeout=900.0,
         )
         result = executor.train(epochs)
@@ -369,7 +371,8 @@ def time_e2e_epoch(nodes: int, parts: int, epochs: int, seed: int) -> dict:
             result.blocked_fraction(start_epoch=steady), 4
         )
         print(
-            f"e2e[{schedule:11s}] {out[f'{schedule}_epoch_ms']:9.2f} ms/epoch   "
+            f"e2e[{transport}/{schedule:11s}] "
+            f"{out[f'{schedule}_epoch_ms']:9.2f} ms/epoch   "
             f"blocked-in-recv {out[f'{schedule}_blocked_fraction'] * 100:5.1f}%"
         )
     out["overlap_speedup"] = round(
@@ -408,16 +411,24 @@ def _allreduce_bench_worker(ep, task):
 
 
 def time_transports(parts: int, scalars: int, reps: int) -> dict:
-    """Per-AllReduce wall time on the two data-moving transports.
+    """Per-AllReduce wall time on the three data-moving transports.
 
     The simulated path is the 0-cost reference (metering only); the
-    local and multiprocess numbers show what the wire actually costs —
-    the gap is the overlap opportunity the pipelined trainer targets.
+    local, multiprocess and shm numbers show what the wire actually
+    costs — the multiprocess-vs-shm gap is pure pickle framing + pipe
+    copies (the zero-copy win), the remaining shm-vs-local gap is OS
+    process scheduling.
     """
-    from repro.dist.transport import LocalTransport, MultiprocessTransport
+    from repro.dist.transport import (
+        LocalTransport,
+        MultiprocessTransport,
+        SharedMemoryTransport,
+    )
 
     out = {"parts": parts, "scalars": scalars, "reps": reps}
-    for name, cls in (("local", LocalTransport), ("multiprocess", MultiprocessTransport)):
+    for name, cls in (("local", LocalTransport),
+                      ("multiprocess", MultiprocessTransport),
+                      ("shm", SharedMemoryTransport)):
         for algorithm in ("ring", "tree"):
             transport = cls(parts, recv_timeout=60.0)
             per_rank = transport.launch(
@@ -547,6 +558,14 @@ def main() -> int:
         parts=min(args.parts, 4),
         epochs=6 if args.smoke else 8,
         seed=args.seed,
+    )
+
+    results["e2e_epoch_shm"] = time_e2e_epoch(
+        nodes=2500 if args.smoke else 8000,
+        parts=min(args.parts, 4),
+        epochs=6 if args.smoke else 8,
+        seed=args.seed,
+        transport="shm",
     )
 
     with open(args.out, "w") as fh:

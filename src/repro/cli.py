@@ -164,9 +164,12 @@ def build_dist_parser() -> argparse.ArgumentParser:
     parser.add_argument("--model", default="sage", choices=("sage", "gcn"))
     parser.add_argument("--n-epochs", type=int, default=20)
     parser.add_argument(
-        "--transport", default="multiprocess", choices=("multiprocess", "local"),
-        help="how ranks execute: worker processes over pipes, or "
-             "threads over queues",
+        "--transport", default="multiprocess",
+        choices=("multiprocess", "shm", "local"),
+        help="how ranks execute: worker processes over pipes "
+             "(multiprocess), worker processes over zero-copy "
+             "shared-memory rings with pipes for control only (shm), "
+             "or threads over queues (local)",
     )
     parser.add_argument(
         "--schedule", default="synchronous",

@@ -6,10 +6,11 @@ multi-rank execution path:
 
 * :mod:`repro.dist.transport` — the :class:`Transport` interface and
   its byte-metering core (:class:`ByteMeter`, Eq. 3 made measurable),
-  plus the two data-moving implementations:
-  :class:`LocalTransport` (threads + queues) and
+  plus the three data-moving implementations:
+  :class:`LocalTransport` (threads + queues),
   :class:`MultiprocessTransport` (processes + pipes, real ring/tree
-  AllReduce);
+  AllReduce) and :class:`SharedMemoryTransport` (processes +
+  zero-copy shared-memory rings; pipes carry control traffic only);
 * :mod:`repro.dist.comm` — :class:`SimulatedCommunicator`, the
   metering-only transport behind the in-process trainers;
 * :mod:`repro.dist.executor` — :class:`ProcessRankExecutor`, which
@@ -46,6 +47,7 @@ from .transport import (
     ByteMeter,
     LocalTransport,
     MultiprocessTransport,
+    SharedMemoryTransport,
     Transport,
     TransportError,
     ring_allreduce_scalars,
@@ -69,6 +71,7 @@ __all__ = [
     "ByteMeter",
     "LocalTransport",
     "MultiprocessTransport",
+    "SharedMemoryTransport",
     "Transport",
     "TransportError",
     "ring_allreduce_scalars",

@@ -503,9 +503,12 @@ class ProcessRankExecutor:
         ``RankData``, never serialised.
     transport:
         A :class:`~repro.dist.transport.LocalTransport`,
-        :class:`~repro.dist.transport.MultiprocessTransport`, or one of
-        the strings ``"local"`` / ``"multiprocess"`` (default
-        ``"multiprocess"``).
+        :class:`~repro.dist.transport.MultiprocessTransport`,
+        :class:`~repro.dist.transport.SharedMemoryTransport`, or one
+        of the strings ``"local"`` / ``"multiprocess"`` / ``"shm"``
+        (default ``"multiprocess"``).  ``"shm"`` keeps the worker
+        processes but moves payloads through zero-copy shared-memory
+        rings — same ledger, same results, less wire time.
     schedule:
         ``"synchronous"`` (default) blocks on every layer's exchange;
         ``"pipelined"`` runs the PipeGCN-style staleness-1 schedule —

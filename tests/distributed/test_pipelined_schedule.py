@@ -140,6 +140,31 @@ class TestMultiprocessPipelined:
         _assert_equivalent(sim, dist)
 
 
+class TestSharedMemoryPipelined:
+    """Staleness-1 over shared-memory rings: the non-blocking
+    post_exchange/complete_exchange path rides the inherited Endpoint
+    machinery, so the stale exchanges must match the simulated
+    PipelinedTrainer exactly as the pipe-backed transport does."""
+
+    def test_pipelined_seeded_4rank_shm(self, graph, partition):
+        sim = _sim_pipelined_run(graph, partition, BoundaryNodeSampler(0.5))
+        dist = _executor_run(
+            graph, partition, BoundaryNodeSampler(0.5), "shm",
+            timeout=240.0,
+        )
+        _assert_equivalent(sim, dist)
+
+    def test_pipelined_fp32_4rank_shm(self, graph, partition):
+        sim = _sim_pipelined_run(
+            graph, partition, BoundaryNodeSampler(0.5), dtype="float32"
+        )
+        dist = _executor_run(
+            graph, partition, BoundaryNodeSampler(0.5), "shm",
+            dtype="float32", timeout=240.0,
+        )
+        _assert_equivalent(sim, dist, tol=1e-4)
+
+
 class TestLocalPipelined:
     """Thread-backed pipelined runs: fast enough to sweep configs."""
 

@@ -2,16 +2,18 @@
 
 One declarative scenario matrix — send/broadcast/allreduce sequences,
 the degenerate single-rank case, zero-scalar and self sends, mixed-tag
-epochs — runs against all three transports:
+epochs — runs against all four transports:
 
 * ``SimulatedCommunicator`` replays the metering plane directly (its
   ranks share one process, nothing travels);
-* ``LocalTransport`` / ``MultiprocessTransport`` execute the same
-  scenario as *m* real workers moving real payloads (every received
-  array is checked against what the sender produced, every AllReduce
-  against the true sum).
+* ``LocalTransport`` / ``MultiprocessTransport`` /
+  ``SharedMemoryTransport`` execute the same scenario as *m* real
+  workers moving real payloads — threads over queues, processes over
+  pickling pipes, and processes over zero-copy shared-memory rings
+  respectively (every received array is checked against what the
+  sender produced, every AllReduce against the true sum).
 
-The assertion that makes the three interchangeable: identical
+The assertion that makes the four interchangeable: identical
 ``pairwise`` byte matrices and identical per-tag byte totals, compared
 with ``==`` — byte-for-byte, not approximately.
 """
@@ -25,9 +27,17 @@ from repro.dist.comm import SimulatedCommunicator
 from repro.dist.transport import (
     LocalTransport,
     MultiprocessTransport,
+    SharedMemoryTransport,
     TransportError,
     ring_allreduce_scalars,
 )
+
+DATA_MOVING = ["local", "multiprocess", "shm"]
+TRANSPORT_CLASSES = {
+    "local": LocalTransport,
+    "multiprocess": MultiprocessTransport,
+    "shm": SharedMemoryTransport,
+}
 from repro.tensor import get_default_dtype
 
 # ----------------------------------------------------------------------
@@ -173,12 +183,10 @@ def _launched_ledger(transport, ops):
 
 
 def _make_transport(kind, m):
-    if kind == "local":
-        return LocalTransport(m, recv_timeout=30.0)
-    return MultiprocessTransport(m, recv_timeout=30.0)
+    return TRANSPORT_CLASSES[kind](m, recv_timeout=30.0)
 
 
-@pytest.mark.parametrize("kind", ["local", "multiprocess"])
+@pytest.mark.parametrize("kind", DATA_MOVING)
 @pytest.mark.parametrize("name,m,ops", SCENARIOS, ids=IDS)
 class TestConformance:
     def test_matches_simulated_byte_for_byte(self, kind, name, m, ops):
@@ -275,10 +283,9 @@ class TestDeadPeerDetection:
     regression: ``exchange``/``_ring_allreduce`` used to join their
     send threads with a timeout and silently abandon them)."""
 
-    @pytest.mark.parametrize("kind", ["local", "multiprocess"])
+    @pytest.mark.parametrize("kind", DATA_MOVING)
     def test_peer_exits_before_sending(self, kind):
-        cls = LocalTransport if kind == "local" else MultiprocessTransport
-        transport = cls(2, recv_timeout=1.0)
+        transport = TRANSPORT_CLASSES[kind](2, recv_timeout=1.0)
 
         def worker(ep, _):
             if ep.rank == 1:
@@ -289,12 +296,11 @@ class TestDeadPeerDetection:
         with pytest.raises(TransportError):
             transport.launch(worker, timeout=30.0)
 
-    @pytest.mark.parametrize("kind", ["local", "multiprocess"])
+    @pytest.mark.parametrize("kind", DATA_MOVING)
     def test_dead_peer_on_post_exchange_path(self, kind):
         """complete_exchange of a deferred receive from a dead peer
         fails within the receive window, not at the launch deadline."""
-        cls = LocalTransport if kind == "local" else MultiprocessTransport
-        transport = cls(2, recv_timeout=1.0)
+        transport = TRANSPORT_CLASSES[kind](2, recv_timeout=1.0)
 
         def worker(ep, _):
             if ep.rank == 1:
@@ -321,12 +327,14 @@ class TestDeadPeerDetection:
         with pytest.raises(TransportError):
             transport.launch(worker, data, timeout=30.0)
 
-    def test_abandoned_send_raises_not_masks(self):
+    @pytest.mark.parametrize("kind", ["multiprocess", "shm"])
+    def test_abandoned_send_raises_not_masks(self, kind):
         """A send the peer never drains must raise once the window
-        closes.  Pipes hold ~64KB, so a multi-megabyte payload to a
-        sleeping peer leaves the sender thread alive after its join —
-        previously swallowed, now a TransportError."""
-        transport = MultiprocessTransport(2, recv_timeout=1.0)
+        closes.  Pipes hold ~64KB and the default shm ring 4MB, so a
+        multi-megabyte payload to a sleeping peer leaves the sender
+        thread alive after its join — previously swallowed, now a
+        TransportError."""
+        transport = TRANSPORT_CLASSES[kind](2, recv_timeout=1.0)
 
         def worker(ep, _):
             if ep.rank == 1:
@@ -357,10 +365,14 @@ class TestDeadPeerDetection:
 
         assert transport.launch(worker, timeout=15.0) == [True, True]
 
-    def test_blocked_seconds_accumulates_on_recv_wait(self):
+    @pytest.mark.parametrize("kind", DATA_MOVING)
+    def test_blocked_seconds_accumulates_on_recv_wait(self, kind):
         """The measured compute/blocked split: a rank that waits on a
-        slow sender accounts that wait in blocked_seconds."""
-        transport = LocalTransport(2, recv_timeout=10.0)
+        slow sender accounts that wait in blocked_seconds — including
+        time spent spinning on an empty shared-memory ring, which must
+        be priced exactly like a pipe poll (blocked_fraction stays
+        comparable across transports)."""
+        transport = TRANSPORT_CLASSES[kind](2, recv_timeout=10.0)
 
         def worker(ep, _):
             import time as _time
@@ -388,17 +400,18 @@ class TestDtypeConformance:
         assert SimulatedCommunicator(2).bytes_per_scalar == expected
         assert LocalTransport(2).bytes_per_scalar == expected
         assert MultiprocessTransport(2).bytes_per_scalar == expected
-        for cls in (SimulatedCommunicator, LocalTransport, MultiprocessTransport):
+        assert SharedMemoryTransport(2).bytes_per_scalar == expected
+        for cls in (SimulatedCommunicator, LocalTransport,
+                    MultiprocessTransport, SharedMemoryTransport):
             assert cls(2, dtype=np.float32).bytes_per_scalar == 4
             assert cls(2, dtype=np.float64).bytes_per_scalar == 8
             assert cls(2, bytes_per_scalar=2).bytes_per_scalar == 2  # override wins
 
-    @pytest.mark.parametrize("kind", ["local", "multiprocess"])
+    @pytest.mark.parametrize("kind", DATA_MOVING)
     @pytest.mark.parametrize("algorithm", ["ring", "tree"])
     def test_fp32_allreduce_preserves_dtype_and_meters_4_bytes(self, kind, algorithm):
         m, n = 3, 37
-        cls = LocalTransport if kind == "local" else MultiprocessTransport
-        transport = cls(m, recv_timeout=30.0, dtype=np.float32)
+        transport = TRANSPORT_CLASSES[kind](m, recv_timeout=30.0, dtype=np.float32)
 
         def worker(ep, contribution):
             out = ep.allreduce(contribution, "reduce", algorithm=algorithm)
