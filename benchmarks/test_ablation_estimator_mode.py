@@ -8,7 +8,6 @@ subgraph + DGL mean aggregator realises the self-normalised estimator
 noticeably; both communicate identically.
 """
 
-import numpy as np
 
 from repro.bench import (
     BENCH_CONFIGS,

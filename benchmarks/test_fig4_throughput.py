@@ -9,7 +9,6 @@ Paper's observations, which must reproduce in shape:
   * BNS throughput *grows* with partitions while the baselines stall.
 """
 
-import numpy as np
 
 from repro.bench import (
     BENCH_CONFIGS,

@@ -9,7 +9,6 @@ Paper's observations:
     nnz), but far less than communication.
 """
 
-import numpy as np
 
 from repro.bench import BENCH_CONFIGS, format_table, run_config_cached, save_result
 

@@ -6,7 +6,6 @@ Paper: p=0.01 saves up to 58% on Reddit (8 parts) and 27% on products
 nodes to drop) and are sublinear in p (activation caches remain).
 """
 
-import numpy as np
 
 from repro.bench import BENCH_CONFIGS, format_table, memory_for, save_result
 

@@ -8,7 +8,6 @@ Paper's observations:
   * p = 0 converges worst.
 """
 
-import numpy as np
 
 from repro.bench import BENCH_CONFIGS, format_series, run_config_cached, save_result
 

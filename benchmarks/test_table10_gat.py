@@ -8,7 +8,6 @@ makes compute a bigger share of the epoch.
 import numpy as np
 
 from repro.bench import (
-    BENCH_CONFIGS,
     bench_transport,
     format_table,
     get_graph,

@@ -21,7 +21,7 @@ import time
 
 import numpy as np
 
-from repro.bench import BENCH_CONFIGS, format_table, get_graph, get_partition, save_result
+from repro.bench import format_table, get_graph, get_partition, save_result
 from repro.core import PartitionRuntime
 from repro.core.variance import (
     OneStepProblem,

@@ -8,7 +8,6 @@ bottleneck, which our V100_MULTI_MACHINE cluster model encodes.
 
 import dataclasses
 
-import numpy as np
 
 from repro.bench import BENCH_CONFIGS, format_table, get_graph, get_partition, make_model, save_result
 from repro.dist import V100_MULTI_MACHINE, bns_epoch_model, build_workload

@@ -7,9 +7,8 @@ p=0 random partitioning collapses (-3.4 points on Reddit/products)
 because isolated random parts carry no community structure.
 """
 
-import numpy as np
 
-from repro.bench import BENCH_CONFIGS, format_table, run_config_cached, save_result
+from repro.bench import format_table, run_config_cached, save_result
 
 CASES = {  # dataset -> the partition count Table 7 uses
     "reddit-sim": 8,

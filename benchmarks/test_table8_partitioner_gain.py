@@ -6,7 +6,6 @@ BNS helps it MORE (Reddit: 5.0× vs 3.1× throughput; memory to 0.36×
 vs 0.47×) — i.e. the worse the partitioner, the bigger BNS's win.
 """
 
-import numpy as np
 
 from repro.bench import (
     BENCH_CONFIGS,

@@ -1,0 +1,54 @@
+"""Static analysis + runtime sanitizers for the repo's invariants.
+
+Submodules:
+
+* :mod:`repro.analysis.engine` — AST pass framework, diagnostics,
+  registry, committed baseline.
+* :mod:`repro.analysis.passes` — dtype-width, metering, kernel-purity
+  and determinism passes.
+* :mod:`repro.analysis.concurrency` — discarded-result,
+  blocking-in-lock and project-wide lock-order passes.
+* :mod:`repro.analysis.sanitizer` — opt-in runtime lock-order checker
+  (``REPRO_SANITIZE=locks``).
+* :mod:`repro.analysis.lint` — the ``repro lint`` CLI.
+"""
+
+from .engine import (
+    Diagnostic,
+    LintPass,
+    SourceModule,
+    collect_modules,
+    diff_against_baseline,
+    get_passes,
+    load_baseline,
+    pass_names,
+    register_pass,
+    run_passes,
+    save_baseline,
+)
+from .lint import run_lint
+from .sanitizer import (
+    LockOrderError,
+    SanitizedLock,
+    locks_enabled,
+    make_lock,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintPass",
+    "LockOrderError",
+    "SanitizedLock",
+    "SourceModule",
+    "collect_modules",
+    "diff_against_baseline",
+    "get_passes",
+    "load_baseline",
+    "locks_enabled",
+    "make_lock",
+    "pass_names",
+    "register_pass",
+    "run_lint",
+    "run_passes",
+    "save_baseline",
+]

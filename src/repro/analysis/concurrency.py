@@ -1,0 +1,260 @@
+"""Concurrency passes: discarded timed waits, lock bodies, lock order.
+
+``transport.py`` is ~1.6k lines of locks, condvars and sender threads,
+and its one shipped concurrency bug (PR 4's discarded
+``thread.join(timeout)``) had exactly the shape these passes check for:
+
+``discarded-result``
+    ``Event.wait(timeout)`` and ``poll(timeout)`` *return* whether they
+    succeeded; ``Thread.join(timeout)`` returns nothing, so a timed
+    join proves nothing unless ``is_alive()`` is consulted afterwards.
+    A timed blocking call whose outcome is dropped is a hang silently
+    reclassified as success.
+
+``blocking-in-lock``
+    A potentially-blocking call inside a ``with <lock>:`` body stalls
+    every thread contending for that lock for the full block duration.
+    Where that is the *point* (serialising two threads on one pipe with
+    a bounded backstop poll), waive the whole block with
+    ``# repro-lint: ignore[blocking-in-lock]`` on the ``with`` line and
+    say why in the comment.
+
+``lock-order``
+    Statically extracts the lock-acquisition nesting graph (``with A:
+    with B:`` ⇒ edge A→B, per function, across all linted files) and
+    reports cycles — the AB/BA shape that deadlocks the moment two
+    threads interleave.  Lock identity is the normalised source text of
+    the context expression with subscripts wildcarded, so two elements
+    of one lock table (``locks[i]`` / ``locks[j]``) count as the same
+    lock *class*: nesting a class inside itself is an inversion waiting
+    for the right pair of indices.  The runtime mirror of this pass is
+    :mod:`repro.analysis.sanitizer`, which checks observed per-thread
+    acquisition order on live instances.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set, Tuple
+
+from .engine import Diagnostic, LintPass, SourceModule, register_pass
+
+__all__ = [
+    "DiscardedResultPass",
+    "BlockingInLockPass",
+    "LockOrderPass",
+    "extract_lock_edges",
+]
+
+_LOCKISH_RE = re.compile(r"lock", re.IGNORECASE)
+_SUBSCRIPT_RE = re.compile(r"\[[^\]]*\]")
+
+
+def _lock_key(text: str) -> str:
+    """Normalised lock identity: whitespace stripped, subscripts
+    wildcarded (two elements of one lock table are one lock class)."""
+    return _SUBSCRIPT_RE.sub("[*]", re.sub(r"\s+", "", text))
+
+
+class DiscardedResultPass(LintPass):
+    rule = "discarded-result"
+    title = "timed blocking calls prove their outcome"
+    description = (
+        "Event.wait(timeout)/poll(timeout) results must be consumed, and "
+        "a bare Thread.join(timeout) needs an is_alive() check"
+    )
+
+    _HINT_WAIT = (
+        "consume the boolean (e.g. 'if not x.wait(t): raise') — a timed "
+        "wait that may have timed out is not a wait"
+    )
+    _HINT_JOIN = (
+        "check is_alive() after a timed join (or raise through a "
+        "completion handle) — join(timeout) returns None either way"
+    )
+
+    def run(self, module: SourceModule) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        self._visit(module, module.tree, out, enclosing_text="")
+        return out
+
+    def _visit(self, module, node, out, enclosing_text):
+        for child in ast.iter_child_nodes(node):
+            text = enclosing_text
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                text = module.segment(child)
+            if isinstance(child, ast.Expr) and isinstance(child.value, ast.Call):
+                call = child.value
+                func = call.func
+                timed = bool(call.args or call.keywords)
+                if isinstance(func, ast.Attribute) and timed:
+                    if func.attr in ("wait", "poll"):
+                        out.append(self.diag(
+                            module, child,
+                            f"result of timed .{func.attr}() discarded",
+                            self._HINT_WAIT,
+                        ))
+                    elif func.attr == "join" and "is_alive" not in text:
+                        out.append(self.diag(
+                            module, child,
+                            "timed .join() with no is_alive() check in the "
+                            "enclosing function — a hang is silently "
+                            "reclassified as completion",
+                            self._HINT_JOIN,
+                        ))
+            self._visit(module, child, out, text)
+
+
+class BlockingInLockPass(LintPass):
+    rule = "blocking-in-lock"
+    title = "no blocking calls while holding a shared lock"
+    description = (
+        "recv/join/acquire/get/wait inside a 'with <lock>:' body stall "
+        "every contender; waive deliberate designs on the with line"
+    )
+
+    _BLOCKING = (
+        "recv", "recv_bytes", "get", "join", "acquire", "wait", "poll",
+        "send", "send_bytes",
+    )
+    _HINT = (
+        "move the blocking call outside the lock body, or waive the "
+        "block with '# repro-lint: ignore[blocking-in-lock]' on the "
+        "'with' line plus the reason the stall is bounded"
+    )
+
+    def run(self, module: SourceModule) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            lockish = [
+                item for item in node.items
+                if _LOCKISH_RE.search(module.segment(item.context_expr))
+            ]
+            if not lockish:
+                continue
+            # Block-scoped waiver: an ignore on the `with` line covers
+            # the whole body (one justification for one design).
+            if module.is_suppressed(node.lineno, self.rule):
+                continue
+            for body_stmt in node.body:
+                for sub in ast.walk(body_stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in self._BLOCKING
+                    ):
+                        receiver = module.segment(sub.func.value)
+                        out.append(self.diag(
+                            module, sub,
+                            f"potentially blocking {receiver}."
+                            f"{sub.func.attr}() while holding "
+                            f"{module.segment(lockish[0].context_expr)}",
+                            self._HINT,
+                        ))
+        return out
+
+
+def extract_lock_edges(
+    module: SourceModule,
+) -> List[Tuple[str, str, ast.With]]:
+    """(outer, inner, inner-with-node) for every nested lock pair.
+
+    Nesting is tracked per function body, one level of ``with`` at a
+    time; edges are emitted for *every* held outer lock, so ``with a:
+    with b: with c:`` yields a→b, a→c and b→c.
+    """
+    edges: List[Tuple[str, str, ast.With]] = []
+
+    def visit(node, held: List[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, [])  # fresh stack per function
+                continue
+            if isinstance(child, ast.With):
+                acquired = [
+                    _lock_key(module.segment(item.context_expr))
+                    for item in child.items
+                    if _LOCKISH_RE.search(module.segment(item.context_expr))
+                ]
+                for inner in acquired:
+                    for outer in held:
+                        edges.append((outer, inner, child))
+                # Multiple lockish items in one `with` acquire in order.
+                for i, inner in enumerate(acquired):
+                    for outer in acquired[:i]:
+                        edges.append((outer, inner, child))
+                visit(child, held + acquired)
+                continue
+            visit(child, held)
+
+    visit(module.tree, [])
+    return edges
+
+
+class LockOrderPass(LintPass):
+    rule = "lock-order"
+    title = "the static lock-acquisition graph stays acyclic"
+    description = (
+        "nested 'with lock:' statements define an order, project-wide; "
+        "a cycle (AB/BA) deadlocks the first time two threads interleave"
+    )
+    project_wide = True  # the graph spans transport.py AND executor.py
+
+    _HINT = (
+        "impose one global acquisition order (acquire the cycle's locks "
+        "in a fixed sequence everywhere) or collapse to a single lock; "
+        "run the shm suites under REPRO_SANITIZE=locks to catch the "
+        "inversion at runtime"
+    )
+
+    def run_project(self, modules) -> List[Diagnostic]:
+        graph: Dict[str, Set[str]] = {}
+        sites: Dict[Tuple[str, str], Tuple[SourceModule, ast.With]] = {}
+        for module in modules:
+            for outer, inner, node in extract_lock_edges(module):
+                graph.setdefault(outer, set()).add(inner)
+                sites.setdefault((outer, inner), (module, node))
+
+        def reaches(src: str, dst: str, seen: Set[str]) -> bool:
+            if src == dst:
+                return True
+            seen.add(src)
+            return any(
+                nxt not in seen and reaches(nxt, dst, seen)
+                for nxt in graph.get(src, ())
+            )
+
+        out: List[Diagnostic] = []
+        reported: Set[Tuple[str, str]] = set()
+        for (outer, inner), (module, node) in sorted(
+            sites.items(), key=lambda kv: (kv[1][0].path, kv[1][1].lineno)
+        ):
+            if (inner, outer) in reported:
+                continue
+            if outer == inner:
+                out.append(self.diag(
+                    module, node,
+                    f"lock class {outer!r} nested inside itself — an "
+                    "inversion for the right pair of instances",
+                    self._HINT,
+                ))
+                reported.add((outer, inner))
+            elif reaches(inner, outer, set()):
+                other = sites[(inner, outer)]
+                out.append(self.diag(
+                    module, node,
+                    f"lock-order cycle: {outer!r} → {inner!r} here, but "
+                    f"{inner!r} → … → {outer!r} (see "
+                    f"{other[0].path}:{other[1].lineno})",
+                    self._HINT,
+                ))
+                reported.add((outer, inner))
+        return out
+
+
+register_pass(DiscardedResultPass())
+register_pass(BlockingInLockPass())
+register_pass(LockOrderPass())

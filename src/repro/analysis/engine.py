@@ -1,0 +1,371 @@
+"""The invariant lint engine: AST passes, diagnostics, baseline.
+
+The repo's load-bearing invariants — the byte ledger meters exactly
+what ships, scalar widths flow through
+:func:`~repro.tensor.dtype.scalar_nbytes` instead of hard-coded
+``4``/``8`` constants, split-SpMM kernels go through the
+:mod:`repro.tensor.kernels` registry, timed waits are never silently
+discarded — used to be enforced only by the tests that broke *after*
+a violation shipped.  This module enforces them *before*: each
+invariant is a :class:`LintPass` that walks a file's AST and emits
+:class:`Diagnostic` records with a file, line, rule id and a fix hint.
+
+The machinery mirrors the kernel-backend registry idiom
+(:mod:`repro.tensor.kernels`): passes are tiny named singletons in a
+module-level registry (:func:`register_pass` / :func:`pass_names` /
+:func:`get_passes`), so a new invariant is one class + one
+registration, and the CLI / pytest self-check / CI pick it up without
+further wiring.
+
+Three mechanisms keep the engine honest on a real tree:
+
+* **layer markers** — a file declares the privileged layer it
+  implements with a ``# repro-lint: layer=<name>`` comment (the
+  endpoint layer is allowed raw pipe calls, the kernel layer raw CSR
+  matmuls).  Passes consult :attr:`SourceModule.layers` instead of
+  hard-coding paths, so moving a file never silently widens a rule.
+* **inline suppressions** — ``# repro-lint: ignore[rule-id]`` on the
+  offending line (or on a ``with`` statement, for block-scoped rules)
+  waives one finding, with the justification sitting right next to it
+  in the diff.
+* **a committed baseline** — :func:`load_baseline` /
+  :func:`diff_against_baseline` compare findings by a line-content key
+  (stable under unrelated edits), so legacy findings can be frozen
+  without blocking CI while every *new* finding fails it.  The repo's
+  policy is a clean tree: the committed baseline is empty and the
+  pytest self-check keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "LintPass",
+    "SourceModule",
+    "collect_modules",
+    "diff_against_baseline",
+    "get_passes",
+    "load_baseline",
+    "pass_names",
+    "register_pass",
+    "run_passes",
+    "save_baseline",
+]
+
+#: Default lint targets, relative to the repo root.
+DEFAULT_TARGETS = ("src", "benchmarks")
+
+_MARKER_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>[^\n]*)")
+_IGNORE_RE = re.compile(r"ignore(?:\[(?P<rules>[\w\-, ]*)\])?")
+_LAYER_RE = re.compile(r"layer=(?P<layer>[\w\-]+)")
+
+#: Sentinel meaning "every rule" in a suppression entry.
+ALL_RULES = "*"
+
+
+# ----------------------------------------------------------------------
+# Diagnostics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which invariant, what to do about it."""
+
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based
+    rule: str  # pass rule id, e.g. "dtype-width"
+    message: str
+    hint: str = ""  # how to fix (or how to suppress with a reason)
+    #: The offending source line, stripped — the baseline key content,
+    #: stable under edits elsewhere in the file.
+    line_text: str = ""
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: file + rule + line *content* (not line
+        number, which drifts under unrelated edits)."""
+        return f"{self.path}::{self.rule}::{self.line_text}"
+
+    def format(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col + 1}"
+        out = f"{loc}: [{self.rule}] {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+
+# ----------------------------------------------------------------------
+# Source model
+# ----------------------------------------------------------------------
+class SourceModule:
+    """One parsed file plus its lint metadata (layers, suppressions)."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.layers: Set[str] = set()
+        #: line number -> set of waived rule ids (or {ALL_RULES}).
+        self.suppressions: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _MARKER_RE.search(line)
+            if not m:
+                continue
+            body = m.group("body")
+            lm = _LAYER_RE.search(body)
+            if lm:
+                self.layers.add(lm.group("layer"))
+            im = _IGNORE_RE.search(body)
+            if im:
+                rules = im.group("rules")
+                if rules:
+                    waived = {r.strip() for r in rules.split(",") if r.strip()}
+                else:
+                    waived = {ALL_RULES}
+                self.suppressions.setdefault(
+                    self._anchor_line(lineno), set()
+                ).update(waived)
+
+    def _anchor_line(self, lineno: int) -> int:
+        """The code line a marker applies to: its own line, or — when
+        the marker sits on a comment-only line (possibly the first of a
+        comment block) — the next non-comment, non-blank line below."""
+        if not self.lines[lineno - 1].lstrip().startswith("#"):
+            return lineno
+        for nxt in range(lineno + 1, len(self.lines) + 1):
+            stripped = self.lines[nxt - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                return nxt
+        return lineno
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, file_path: Path, root: Path) -> "SourceModule":
+        rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        return cls(rel, file_path.read_text())
+
+    @classmethod
+    def from_source(cls, text: str, path: str = "<snippet>") -> "SourceModule":
+        """Parse a source string — the fixture-test entry point."""
+        return cls(path, text)
+
+    # ------------------------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of ``node`` (empty when unavailable)."""
+        return ast.get_source_segment(self.text, node) or ""
+
+    def is_suppressed(self, lineno: int, rule: str) -> bool:
+        waived = self.suppressions.get(lineno)
+        return bool(waived) and (rule in waived or ALL_RULES in waived)
+
+    def has_layer(self, layer: str) -> bool:
+        return layer in self.layers
+
+
+# ----------------------------------------------------------------------
+# Pass interface and registry (the kernel-backend idiom)
+# ----------------------------------------------------------------------
+class LintPass:
+    """One named invariant check over a :class:`SourceModule`.
+
+    Subclasses set :attr:`rule` (the kebab-case id diagnostics and
+    suppressions use) and implement :meth:`run`.  The shared
+    :meth:`diag` helper stamps the path/line/col/line-text so every
+    pass reports identically.
+
+    A pass whose invariant spans files (the lock-order graph) sets
+    :attr:`project_wide` and implements :meth:`run_project` instead —
+    it sees every module at once and is called exactly once per run.
+    """
+
+    rule: str = "base"
+    title: str = ""
+    description: str = ""
+    project_wide: bool = False
+
+    def run(self, module: SourceModule) -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def run_project(
+        self, modules: Sequence[SourceModule]
+    ) -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, module: SourceModule, node: ast.AST, message: str,
+             hint: str = "") -> Diagnostic:
+        lineno = getattr(node, "lineno", 1)
+        return Diagnostic(
+            path=module.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            hint=hint,
+            line_text=module.line_text(lineno),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rule={self.rule!r})"
+
+
+_REGISTRY: Dict[str, LintPass] = {}
+
+
+def register_pass(lint_pass: LintPass) -> LintPass:
+    """Add a pass to the registry (later rule ids shadow earlier)."""
+    _REGISTRY[lint_pass.rule] = lint_pass
+    return lint_pass
+
+
+def pass_names() -> Tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    _ensure_builtin_passes()
+    return tuple(_REGISTRY)
+
+
+def get_passes(names: Optional[Iterable[str]] = None) -> List[LintPass]:
+    """Resolve a selection of passes (all registered when omitted)."""
+    _ensure_builtin_passes()
+    if names is None:
+        return list(_REGISTRY.values())
+    selected = []
+    for name in names:
+        if name not in _REGISTRY:
+            raise KeyError(
+                f"unknown lint pass {name!r}; registered: "
+                + ", ".join(_REGISTRY)
+            )
+        selected.append(_REGISTRY[name])
+    return selected
+
+
+def _ensure_builtin_passes() -> None:
+    """Import the built-in pass modules (they self-register on import,
+    like the kernel backends do)."""
+    from . import concurrency, passes  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def collect_modules(
+    root: Path, targets: Sequence[str] = DEFAULT_TARGETS
+) -> List[SourceModule]:
+    """Parse every ``*.py`` under ``root``'s target directories."""
+    root = Path(root)
+    modules: List[SourceModule] = []
+    for target in targets:
+        base = root / target
+        if not base.exists():
+            continue
+        for file_path in sorted(base.rglob("*.py")):
+            modules.append(SourceModule.from_file(file_path, root))
+    return modules
+
+
+def run_passes(
+    modules: Iterable[SourceModule],
+    passes: Optional[Sequence[LintPass]] = None,
+) -> List[Diagnostic]:
+    """Run ``passes`` over ``modules``; suppressed findings are dropped
+    centrally so every pass gets the waiver semantics for free."""
+    if passes is None:
+        passes = get_passes()
+    modules = list(modules)
+    by_path = {m.path: m for m in modules}
+    findings: List[Diagnostic] = []
+
+    def keep(diagnostic: Diagnostic) -> bool:
+        owner = by_path.get(diagnostic.path)
+        return owner is None or not owner.is_suppressed(
+            diagnostic.line, diagnostic.rule
+        )
+
+    for lint_pass in passes:
+        if lint_pass.project_wide:
+            findings.extend(
+                d for d in lint_pass.run_project(modules) if keep(d)
+            )
+        else:
+            for module in modules:
+                findings.extend(
+                    d for d in lint_pass.run(module) if keep(d)
+                )
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass
+class BaselineDiff:
+    """Findings split against a committed baseline."""
+
+    new: List[Diagnostic] = field(default_factory=list)
+    known: List[Diagnostic] = field(default_factory=list)
+    #: Baseline keys no longer matched by any finding — stale entries
+    #: (``--strict`` fails on them so the baseline can only shrink).
+    stale: List[str] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Baseline key -> waived occurrence count (empty if no file)."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {payload.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})"
+        )
+    entries = payload.get("entries", {})
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def save_baseline(path: Path, findings: Iterable[Diagnostic]) -> Dict[str, int]:
+    """Freeze ``findings`` as the new baseline; returns the entries."""
+    entries: Dict[str, int] = {}
+    for diagnostic in findings:
+        entries[diagnostic.key] = entries.get(diagnostic.key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return entries
+
+
+def diff_against_baseline(
+    findings: Sequence[Diagnostic], baseline: Dict[str, int]
+) -> BaselineDiff:
+    """Split findings into new-vs-known; surplus occurrences of a known
+    key (the same line duplicated) count as new."""
+    remaining = dict(baseline)
+    diff = BaselineDiff()
+    for diagnostic in findings:
+        if remaining.get(diagnostic.key, 0) > 0:
+            remaining[diagnostic.key] -= 1
+            diff.known.append(diagnostic)
+        else:
+            diff.new.append(diagnostic)
+    diff.stale = sorted(k for k, count in remaining.items() if count > 0)
+    return diff

@@ -1,0 +1,196 @@
+"""``repro lint`` — run the invariant passes over the tree.
+
+Usage (via the top-level CLI)::
+
+    repro lint                      # lint src/ + benchmarks/, text report
+    repro lint --format json        # machine-readable findings
+    repro lint --strict             # also fail on stale baseline entries
+    repro lint --update-baseline    # freeze current findings
+    repro lint --list-passes        # rule catalogue
+    repro lint --select dtype-width,lock-order src/repro/dist
+
+Exit codes: 0 clean (or all findings baselined), 1 new findings (or,
+under ``--strict``, stale baseline entries), 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import (
+    DEFAULT_BASELINE_NAME,
+    DEFAULT_TARGETS,
+    Diagnostic,
+    SourceModule,
+    collect_modules,
+    diff_against_baseline,
+    get_passes,
+    load_baseline,
+    run_passes,
+    save_baseline,
+)
+
+__all__ = ["build_parser", "main", "run_lint"]
+
+
+def run_lint(
+    root: Path,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Collect + run: the programmatic entry point (tests use this)."""
+    modules = collect_modules(Path(root), targets)
+    return run_passes(modules, get_passes(select))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checks for this repository.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=None,
+        help="directories/files to lint, relative to --root "
+        f"(default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="freeze the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when the baseline has stale entries "
+        "(keeps the baseline shrink-only)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print the registered pass catalogue and exit",
+    )
+    return parser
+
+
+def _collect(root: Path, targets: Sequence[str]) -> List[SourceModule]:
+    """Like :func:`collect_modules` but targets may also be files."""
+    modules: List[SourceModule] = []
+    for target in targets:
+        path = root / target
+        if path.is_file():
+            modules.append(SourceModule.from_file(path, root))
+        else:
+            modules.extend(collect_modules(root, [target]))
+    return modules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        for lint_pass in get_passes():
+            scope = "project" if lint_pass.project_wide else "module"
+            print(f"{lint_pass.rule:<18} [{scope}] {lint_pass.title}")
+            if lint_pass.description:
+                print(f"{'':<18}   {lint_pass.description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    targets = args.targets or list(DEFAULT_TARGETS)
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+
+    try:
+        modules = _collect(root, targets)
+        findings = run_passes(modules, get_passes(select))
+    except (SyntaxError, KeyError, OSError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else root / DEFAULT_BASELINE_NAME
+    )
+
+    if args.update_baseline:
+        entries = save_baseline(baseline_path, findings)
+        print(
+            f"baseline updated: {len(entries)} unique finding(s) "
+            f"({len(findings)} total) -> {baseline_path}"
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    diff = diff_against_baseline(findings, baseline)
+
+    if args.format == "json":
+        payload = {
+            "root": str(root),
+            "passes": [p.rule for p in get_passes(select)],
+            "modules": len(modules),
+            "new": [d.__dict__ for d in diff.new],
+            "known": [d.__dict__ for d in diff.known],
+            "stale_baseline_keys": diff.stale,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for diagnostic in diff.new:
+            print(diagnostic.format())
+        if diff.known:
+            print(f"({len(diff.known)} known finding(s) in baseline)")
+        if diff.stale:
+            print(
+                f"{len(diff.stale)} stale baseline entrie(s) — fixed "
+                "findings still waived; run --update-baseline to shrink:"
+            )
+            for key in diff.stale:
+                print(f"  {key}")
+        summary = (
+            f"{len(modules)} file(s) checked, "
+            f"{len(diff.new)} new finding(s)"
+        )
+        print(("FAIL: " if diff.new else "OK: ") + summary)
+
+    if diff.new:
+        return 1
+    if args.strict and diff.stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

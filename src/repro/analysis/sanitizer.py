@@ -1,0 +1,211 @@
+"""Runtime lock-order sanitizer: the dynamic mirror of ``lock-order``.
+
+The static :class:`~repro.analysis.concurrency.LockOrderPass` proves the
+*source* never nests ``with A: with B:`` against ``with B: with A:``.
+This module checks the *observed* order on live lock instances, which
+catches what static analysis cannot: inversions routed through
+callbacks, inversions between locks the linter could not name, and
+inversions that only two particular threads interleave into.
+
+Design: :func:`make_lock` is the factory the transport/executor layers
+call wherever they used to call ``threading.Lock()``.  When sanitising
+is off (the default — ``REPRO_SANITIZE`` unset or without ``locks``),
+it returns a plain ``threading.Lock`` and costs nothing.  When on, it
+returns a :class:`SanitizedLock` that
+
+* keeps a thread-local stack of currently-held sanitized locks, and
+* maintains one process-global order graph: first time lock *A* is
+  held while *B* is acquired, the edge A→B is recorded; a later
+  acquisition of *A* while *B* is held is an observed inversion and
+  raises :class:`LockOrderError` at the acquisition site — i.e. the
+  deadlock is reported deterministically on the first run that
+  *could* have deadlocked, instead of hanging one run in a thousand.
+
+Order is tracked per lock *name* (the label passed to
+:func:`make_lock`), so two instances created at the same site — one
+per ring, say — form one order class, matching the static pass's
+subscript-wildcarding.  The graph is intentionally never pruned on
+release: lock order is a program-wide law, not a per-window one.
+
+Enable with ``REPRO_SANITIZE=locks`` (comma-separated list; only the
+``locks`` token is currently defined).  Tests use :func:`reset` to
+clear the global graph between cases and
+:func:`install_sanitizer`/:func:`locks_enabled` to force the mode
+without touching the environment.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderError",
+    "SanitizedLock",
+    "install_sanitizer",
+    "locks_enabled",
+    "make_lock",
+    "reset",
+    "reset_graph",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+#: Forced mode: None → consult the environment, True/False → override.
+_forced: Optional[bool] = None
+
+#: Global observed-order graph over lock *names*: name -> names that
+#: have been acquired while it was held.
+_order: Dict[str, Set[str]] = {}
+#: First site (holder-name, acquired-name) was observed at, for the
+#: error message: (thread name, holder stack snapshot).
+_witness: Dict[Tuple[str, str], str] = {}
+_graph_lock = threading.Lock()
+
+_tls = threading.local()
+
+
+class LockOrderError(RuntimeError):
+    """An observed lock-acquisition order inversion (potential deadlock)."""
+
+
+def locks_enabled() -> bool:
+    """True when lock sanitising is active for new :func:`make_lock` calls."""
+    if _forced is not None:
+        return _forced
+    tokens = os.environ.get(ENV_VAR, "")
+    return "locks" in {t.strip() for t in tokens.split(",")}
+
+
+def install_sanitizer(enabled: bool = True) -> None:
+    """Force sanitising on/off regardless of ``REPRO_SANITIZE``.
+
+    Affects locks created *after* the call; existing plain locks stay
+    plain.  Pass ``None``-like reset via :func:`reset` to go back to
+    environment-controlled mode.
+    """
+    global _forced
+    _forced = enabled
+
+
+def reset_graph() -> None:
+    """Clear the observed-order graph only.
+
+    Rank workers call this at start-of-rank: lock order is a law *per
+    process*, and a forked worker must not inherit edges the parent
+    process observed among its own (distinct) lock instances.
+    """
+    with _graph_lock:
+        _order.clear()
+        _witness.clear()
+
+
+def reset() -> None:
+    """Clear the global order graph and forced mode (test isolation)."""
+    global _forced
+    _forced = None
+    reset_graph()
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_tls, "held", None)
+    if stack is None:
+        stack = _tls.held = []
+    return stack
+
+
+def _check_and_record(name: str) -> None:
+    """Record edges holder→``name``; raise on an inverted edge."""
+    held = _held_stack()
+    if not held:
+        return
+    # repro-lint: ignore[blocking-in-lock] — dict lookups only; the
+    # graph lock guards pure in-memory bookkeeping, never I/O.
+    with _graph_lock:
+        for holder in held:
+            if holder == name:
+                raise LockOrderError(
+                    f"lock {name!r} acquired while already held by this "
+                    f"thread's stack {held!r} — self-nesting (non-reentrant "
+                    "Lock would deadlock here)"
+                )
+            # An established name→holder edge means some thread acquired
+            # `holder` while holding `name`; we are doing the reverse.
+            if holder in _order.get(name, ()):
+                first = _witness.get((name, holder), "?")
+                raise LockOrderError(
+                    f"lock-order inversion: acquiring {name!r} while "
+                    f"holding {holder!r}, but the order {name!r} → "
+                    f"{holder!r} was previously observed ({first}); "
+                    "this interleaving can deadlock"
+                )
+        for holder in held:
+            if name not in _order.setdefault(holder, set()):
+                _order[holder].add(name)
+                _witness[(holder, name)] = (
+                    f"first seen on thread {threading.current_thread().name!r}"
+                    f" with held stack {held!r}"
+                )
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` wrapper that reports acquisition order.
+
+    Context-manager and ``acquire``/``release`` compatible with the
+    plain lock it replaces; the order check runs *before* blocking on
+    the underlying lock, so a true inversion raises instead of
+    deadlocking.
+    """
+
+    __slots__ = ("_name", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _check_and_record(self._name)
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            _held_stack().append(self._name)
+        return got
+
+    def release(self) -> None:
+        held = _held_stack()
+        # Remove the most recent matching hold (releases may be
+        # out-of-order in principle; LIFO is the overwhelming case).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == self._name:
+                del held[i]
+                break
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"SanitizedLock({self._name!r}, {state})"
+
+
+def make_lock(name: str):
+    """A lock for production code: plain ``threading.Lock`` normally,
+    :class:`SanitizedLock` under ``REPRO_SANITIZE=locks``.
+
+    ``name`` labels the lock's order *class* — instances sharing a
+    name share ordering constraints (use one name per creation site).
+    """
+    if locks_enabled():
+        return SanitizedLock(name)
+    return threading.Lock()

@@ -5,7 +5,6 @@ for every comparison table)."""
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -17,8 +17,6 @@ import time
 from typing import List
 
 import numpy as np
-import scipy.sparse as sp
-
 from ..graph.propagation import row_normalise, sym_norm
 from ..tensor import SparseOp, Tensor, relu
 from .base import MiniBatchTrainer

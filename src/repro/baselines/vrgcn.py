@@ -22,10 +22,8 @@ import time
 from typing import List
 
 import numpy as np
-import scipy.sparse as sp
-
 from ..graph.propagation import mean_aggregation
-from ..tensor import SparseOp, Tensor, gather_rows, relu, spmm
+from ..tensor import Tensor, gather_rows, relu
 from .base import MiniBatchTrainer
 
 __all__ = ["VRGCNTrainer"]

@@ -16,6 +16,12 @@ default), exchanging boundary features/gradients for real:
 
     python -m repro dist-train --dataset reddit-sim --n-partitions 4 \\
         --sampling-rate 0.1 --n-epochs 20 --transport multiprocess
+
+``lint`` runs the repo's invariant static-analysis passes (dtype-width
+discipline, metering discipline, kernel purity, concurrency hygiene,
+lock-order, determinism) over ``src/`` and ``benchmarks/``:
+
+    python -m repro lint --strict
 """
 
 from __future__ import annotations
@@ -117,7 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Partition-parallel GCN training with boundary node sampling",
         epilog="subcommands: 'repro dist-train' runs the same training "
                "with real multiprocess ranks behind a data-moving "
-               "transport (see 'repro dist-train --help')",
+               "transport (see 'repro dist-train --help'); 'repro lint' "
+               "runs the invariant static-analysis passes (see "
+               "'repro lint --help')",
         parents=[_common_options()],
     )
     parser.add_argument(
@@ -274,6 +282,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arg_list = list(sys.argv[1:]) if argv is None else list(argv)
     if arg_list and arg_list[0] == "dist-train":
         return dist_train_main(arg_list[1:])
+    if arg_list and arg_list[0] == "lint":
+        from .analysis.lint import main as lint_main
+
+        return lint_main(arg_list[1:])
     args = build_parser().parse_args(arg_list)
     if args.kernel_backend:
         # One process-wide switch covers every trainer (including the

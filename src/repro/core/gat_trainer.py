@@ -22,7 +22,6 @@ from ..dist.transport import resolve_transport
 from ..dist.cost_model import (
     SECONDS_PER_SAMPLER_EDGE,
     ClusterSpec,
-    EpochBreakdown,
     epoch_time,
 )
 from ..graph.graph import Graph

@@ -43,20 +43,18 @@ from ..dist.cost_model import (
 from ..graph.graph import Graph
 from ..nn import functional as F
 from ..nn.metrics import accuracy, f1_micro_multilabel
-from ..nn.models import GraphSAGEModel, GCNModel
 from ..nn.module import resolve_model_dtype
 from ..nn.optim import Adam, Optimizer
 from ..partition.types import PartitionResult
 from ..tensor import (
     Tensor,
     concat_rows,
-    dropout as dropout_op,
     gather_rows,
     no_grad,
     relu,
     use_backend,
 )
-from .bns import PartitionRuntime, RankData
+from .bns import PartitionRuntime
 from .sampler import BoundarySampler, FullBoundarySampler, plan_sampling_ops
 
 __all__ = ["TrainHistory", "DistributedTrainer", "BNSTrainer"]

@@ -72,7 +72,7 @@ def layer_flops(nnz: float, n_rows: float, d_in: int, d_out: int) -> float:
 #: numeric default; pass ``dtype=`` to re-price them at another
 #: precision.  Metered runs (trainers/transports) derive their own
 #: ``bytes_per_scalar`` from the active dtype instead of this constant.
-PAPER_DTYPE = np.float32
+PAPER_DTYPE = np.float32  # repro-lint: ignore[dtype-width] — the one sanctioned literal: the paper's testbed precision, priced through scalar_nbytes below
 BYTES = scalar_nbytes(PAPER_DTYPE)
 
 #: Seconds per element a sampler touches while drawing its per-epoch

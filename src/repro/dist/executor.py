@@ -73,6 +73,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis import sanitizer as lock_sanitizer
 from ..core.bns import PartitionRuntime, RankData
 from ..core.sampler import BoundarySampler, FullBoundarySampler
 from ..core.trainer import TrainHistory
@@ -126,7 +127,11 @@ class _RankTask:
     loss_denom: float
     multilabel: bool
     allreduce_algorithm: str
-    dtype: str = "float64"
+    #: Wire/compute dtype name.  Required, no literal default: the
+    #: executor always ships the configured run dtype, and a silent
+    #: "float64" fallback here is exactly the class of constant the
+    #: dtype-width lint exists to keep out.
+    dtype: str
     schedule: str = "synchronous"
     #: Kernel-backend *name* (never the instance): the worker resolves
     #: it against its own registry, so a rank in a fresh process runs
@@ -450,6 +455,11 @@ class _RankLoop:
 
 def _run_rank(ep: Endpoint, task: _RankTask) -> _RankOutcome:
     """One rank's whole training loop (runs inside a thread or process)."""
+    if lock_sanitizer.locks_enabled():
+        # Under REPRO_SANITIZE=locks each rank checks its own observed
+        # lock-order graph; a forked worker must not inherit edges the
+        # parent observed among its own (distinct) lock instances.
+        lock_sanitizer.reset_graph()
     with use_backend(task.kernel_backend):
         return _run_rank_epochs(ep, task)
 

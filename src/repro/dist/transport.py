@@ -60,11 +60,13 @@ overridden it derives from the transport's configured ``dtype``
 default, 4 under ``--dtype float32``), so the ledger prices exactly
 the scalar width the data plane actually pickles and ships.
 """
+# repro-lint: layer=endpoint — this file IS the raw-channel layer the
+# metering pass protects; pipes/shm rings are constructed and driven
+# here, always behind the ByteMeter accounting above them.
 
 from __future__ import annotations
 
 import atexit
-import os
 import queue
 import threading
 import time
@@ -75,6 +77,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import make_lock
 from ..tensor.dtype import float_dtype_for_nbytes, resolve_dtype, scalar_nbytes
 
 __all__ = [
@@ -320,8 +323,9 @@ class _SendTicket:
         self._done = threading.Event()
         self.error: Optional[BaseException] = None
 
-    def join(self, timeout: Optional[float] = None) -> None:
-        self._done.wait(timeout)
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for completion; True iff the send finished in time."""
+        return self._done.wait(timeout)
 
     def is_alive(self) -> bool:
         return not self._done.is_set()
@@ -418,8 +422,7 @@ class Endpoint:
         receive window (peer not draining — a hang the old bare
         ``thread.join(timeout)`` silently swallowed) or a failed push
         raises :class:`TransportError` instead of being abandoned."""
-        ticket.join(self.recv_timeout)
-        if ticket.is_alive():
+        if not ticket.join(self.recv_timeout):
             raise TransportError(
                 f"rank {self.rank} send (tag {ticket.tag!r}) to rank "
                 f"{ticket.dst} still in flight after {self.recv_timeout}s "
@@ -982,11 +985,16 @@ class MultiprocessTransport(Transport):
 #: rings the pipe (one byte) after making progress only when the flag
 #: is up — OS-level wakeup at arrival time, no spinning, no doorbell
 #: storms.
-_RING_CTRL_NBYTES = 32
+#: Width of one framing/control word.  Framing is always int64
+#: regardless of the payload dtype — derived, not hard-coded, so the
+#: dtype-width lint can hold the rest of the file to the same rule.
+_I64 = np.dtype(np.int64).itemsize
 _CTRL_HEAD = 0
 _CTRL_TAIL = 1
 _CTRL_WRITER_WAITING = 2
 _CTRL_READER_WAITING = 3
+_CTRL_FIELDS = 4
+_RING_CTRL_NBYTES = _CTRL_FIELDS * _I64
 _MIN_RING_NBYTES = 1 << 12
 #: Fixed frame header: payload_nbytes, tag_id, tag_len, dtype_id,
 #: dtype_len, ndim (all int64).  Tags and dtype strings are interned
@@ -1148,6 +1156,9 @@ class _RingWaiter:
                 raise self._peer_died()
             return
         else:
+            # repro-lint: ignore[blocking-in-lock] — serialising both
+            # ring directions on one doorbell pipe is the design; the
+            # poll is bounded by _BACKSTOP, so the stall is too.
             with self.lock:
                 # The sibling thread may have drained our doorbell
                 # while it held the lock — recheck before blocking.
@@ -1190,7 +1201,7 @@ class _ShmRing:
         self.shm = shm
         self.name = shm.name
         self.capacity = shm.size - _RING_CTRL_NBYTES
-        self._ctrl = np.frombuffer(shm.buf, dtype=np.int64, count=4)
+        self._ctrl = np.frombuffer(shm.buf, dtype=np.int64, count=_CTRL_FIELDS)
         self._data = np.frombuffer(
             shm.buf, dtype=np.uint8, offset=_RING_CTRL_NBYTES,
             count=self.capacity,
@@ -1329,8 +1340,11 @@ class _ShmEndpoint(Endpoint):
         # per-destination sender thread (writes) both park on the same
         # pipe when their ring stalls, and concurrent recv_bytes would
         # tear the length-prefixed doorbell frames.
+        # make_lock: plain Lock normally, order-checked wrapper under
+        # REPRO_SANITIZE=locks.  One name per creation site — instances
+        # sharing a name form one lock-order class.
         self._conn_locks: Dict[int, threading.Lock] = {
-            peer: threading.Lock() for peer in conns
+            peer: make_lock("shm-conn") for peer in conns
         }
 
     @classmethod
@@ -1350,14 +1364,14 @@ class _ShmEndpoint(Endpoint):
 
     def _waiter(self, peer: int, what: str) -> _RingWaiter:
         return _RingWaiter(self.rank, peer, self._conns.get(peer),
-                           self._conn_locks.get(peer) or threading.Lock(),
+                           self._conn_locks.get(peer) or make_lock("shm-conn"),
                            self.recv_timeout, what)
 
     # -- ordered outbound, inline fast-path -----------------------------
     def _frame_nbytes(self, dst: int, message) -> int:
         tag, payload = message
         arr = np.asarray(payload)
-        n = 8 * _FRAME_FIELDS + 8 * arr.ndim + arr.size * arr.dtype.itemsize
+        n = _I64 * (_FRAME_FIELDS + arr.ndim) + arr.size * arr.dtype.itemsize
         if tag not in self._tags_out[dst]:
             n += len(tag.encode("utf-8"))
         if arr.dtype.str not in self._dtypes_out[dst]:
@@ -1457,7 +1471,7 @@ class _ShmEndpoint(Endpoint):
         payload_nbytes, tag_id, tag_len, dtype_id, dtype_len, ndim = (
             int(v) for v in header
         )
-        trailer = np.empty(tag_len + dtype_len + 8 * ndim, dtype=np.uint8)
+        trailer = np.empty(tag_len + dtype_len + _I64 * ndim, dtype=np.uint8)
         ring.read_into(trailer, waiter)
         trailer_bytes = trailer.tobytes()
         known_tags = self._tags_in[src]
@@ -1498,10 +1512,14 @@ class _ShmEndpoint(Endpoint):
         # past its own recv_timeout is abandoned (its ring close is
         # skipped — the OS reclaims the mapping at process exit, and
         # the segment itself is the parent's to unlink).
-        for thread in self._send_threads.values():
+        stuck = set()
+        for dst, thread in self._send_threads.items():
             thread.join(2.0)
-        for ring in self._send_rings.values():
-            ring.close()
+            if thread.is_alive():
+                stuck.add(dst)
+        for dst, ring in self._send_rings.items():
+            if dst not in stuck:
+                ring.close()
         for ring in self._recv_rings.values():
             ring.close()
 

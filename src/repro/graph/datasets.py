@@ -22,7 +22,7 @@ use pocket-sized versions of the same recipes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from .generators import SyntheticSpec, generate_graph
 from .graph import Graph

@@ -20,8 +20,6 @@ match each original:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
-
 import numpy as np
 import scipy.sparse as sp
 

@@ -7,8 +7,8 @@ masks — the same payload a DGLGraph carries in the paper's artifact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

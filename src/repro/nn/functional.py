@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..tensor import Tensor, as_tensor, log_softmax, sigmoid
+from ..tensor import Tensor, as_tensor, log_softmax
 from ..tensor import ops as T
 
 __all__ = ["cross_entropy", "nll_loss", "bce_with_logits", "masked_rows"]

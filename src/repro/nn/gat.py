@@ -15,8 +15,6 @@ combination).
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from ..tensor import Tensor, concat_cols, gather_rows, leaky_relu, segment_softmax, segment_sum, xavier_uniform

@@ -10,7 +10,7 @@ single-device baseline and for evaluation.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -50,6 +50,9 @@ backend rank-side from the shipped task spec.  A future torch/GPU
 backend plugs into this registry without touching the operator or the
 trainers.
 """
+# repro-lint: layer=kernels — this registry IS the kernel layer the
+# kernel-purity pass protects; raw matmuls on SplitOperator blocks are
+# legal here and nowhere else.
 
 from __future__ import annotations
 

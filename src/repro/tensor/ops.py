@@ -8,7 +8,7 @@ segment reductions (the aggregation primitive of GAT).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 
