@@ -4,19 +4,37 @@ Submodules:
 
 * :mod:`repro.analysis.engine` — AST pass framework, diagnostics,
   registry, committed baseline.
+* :mod:`repro.analysis.dataflow` — the intraprocedural CFG builder and
+  forward worklist solver the flow-sensitive passes run on.
 * :mod:`repro.analysis.passes` — dtype-width, metering, kernel-purity
   and determinism passes.
 * :mod:`repro.analysis.concurrency` — discarded-result,
   blocking-in-lock and project-wide lock-order passes.
-* :mod:`repro.analysis.sanitizer` — opt-in runtime lock-order checker
-  (``REPRO_SANITIZE=locks``).
+* :mod:`repro.analysis.lifecycle` — flow-sensitive resource-lifecycle
+  and exception-safety passes (close/unlink/release on every path).
+* :mod:`repro.analysis.typestate` — protocol state tables (data) and
+  the flow-sensitive typestate pass over them.
+* :mod:`repro.analysis.sanitizer` — opt-in runtime checkers: lock
+  order (``REPRO_SANITIZE=locks``) and protocol typestate proxies
+  (``REPRO_SANITIZE=protocol``).
 * :mod:`repro.analysis.lint` — the ``repro lint`` CLI.
 """
 
+from .dataflow import (
+    CFG,
+    CFGError,
+    CFGNode,
+    SolverDivergence,
+    build_cfg,
+    function_cfgs,
+    solve_forward,
+)
 from .engine import (
     Diagnostic,
+    FlowPass,
     LintPass,
     SourceModule,
+    baseline_keys,
     collect_modules,
     diff_against_baseline,
     get_passes,
@@ -29,26 +47,49 @@ from .engine import (
 from .lint import run_lint
 from .sanitizer import (
     LockOrderError,
+    ProtocolError,
     SanitizedLock,
+    TypestateProxy,
+    install_protocol_sanitizer,
     locks_enabled,
     make_lock,
+    protocol_enabled,
+    wrap_protocol,
 )
+from .typestate import PROTOCOLS, Protocol, protocol_for_class
 
 __all__ = [
+    "CFG",
+    "CFGError",
+    "CFGNode",
     "Diagnostic",
+    "FlowPass",
     "LintPass",
     "LockOrderError",
+    "PROTOCOLS",
+    "Protocol",
+    "ProtocolError",
     "SanitizedLock",
+    "SolverDivergence",
     "SourceModule",
+    "TypestateProxy",
+    "baseline_keys",
+    "build_cfg",
     "collect_modules",
     "diff_against_baseline",
+    "function_cfgs",
     "get_passes",
+    "install_protocol_sanitizer",
     "load_baseline",
     "locks_enabled",
     "make_lock",
     "pass_names",
+    "protocol_enabled",
+    "protocol_for_class",
     "register_pass",
     "run_lint",
     "run_passes",
     "save_baseline",
+    "solve_forward",
+    "wrap_protocol",
 ]

@@ -47,8 +47,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Diagnostic",
+    "FlowPass",
     "LintPass",
     "SourceModule",
+    "baseline_keys",
     "collect_modules",
     "diff_against_baseline",
     "get_passes",
@@ -221,6 +223,29 @@ class LintPass:
         return f"{type(self).__name__}(rule={self.rule!r})"
 
 
+class FlowPass(LintPass):
+    """A flow-sensitive pass: one CFG per function instead of raw AST.
+
+    The engine builds a :class:`~repro.analysis.dataflow.CFG` for every
+    function in the module and hands each to :meth:`run_cfg`; passes
+    express their invariant as a transfer function over
+    :func:`~repro.analysis.dataflow.solve_forward` instead of a
+    pattern match.  Registration, suppressions and baselining are
+    identical to plain passes.
+    """
+
+    def run(self, module: SourceModule) -> List[Diagnostic]:
+        from .dataflow import function_cfgs
+
+        findings: List[Diagnostic] = []
+        for cfg in function_cfgs(module.tree):
+            findings.extend(self.run_cfg(module, cfg))
+        return findings
+
+    def run_cfg(self, module: SourceModule, cfg) -> List[Diagnostic]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, LintPass] = {}
 
 
@@ -255,7 +280,7 @@ def get_passes(names: Optional[Iterable[str]] = None) -> List[LintPass]:
 def _ensure_builtin_passes() -> None:
     """Import the built-in pass modules (they self-register on import,
     like the kernel backends do)."""
-    from . import concurrency, passes  # noqa: F401
+    from . import concurrency, lifecycle, passes, typestate  # noqa: F401
 
 
 # ----------------------------------------------------------------------
@@ -311,7 +336,12 @@ def run_passes(
 # ----------------------------------------------------------------------
 # Baseline
 # ----------------------------------------------------------------------
-BASELINE_VERSION = 1
+#: v2 stores occurrence-indexed keys (``<content key>#<n>``) as a flat
+#: list: two findings whose stripped line text is identical within one
+#: file no longer collide on a single counted entry, so waiving one of
+#: them never silently waives the other.  v1 (``{key: count}``) files
+#: are still accepted and migrated on load.
+BASELINE_VERSION = 2
 DEFAULT_BASELINE_NAME = "lint_baseline.json"
 
 
@@ -326,46 +356,69 @@ class BaselineDiff:
     stale: List[str] = field(default_factory=list)
 
 
-def load_baseline(path: Path) -> Dict[str, int]:
-    """Baseline key -> waived occurrence count (empty if no file)."""
+def baseline_keys(findings: Sequence[Diagnostic]) -> List[str]:
+    """Occurrence-indexed baseline keys, aligned with ``findings``.
+
+    The n-th finding sharing one content key (same file, rule and
+    stripped line text) gets ``<key>#<n>`` (1-based, in report order —
+    which :func:`run_passes` keeps sorted and therefore stable).
+    """
+    seen: Dict[str, int] = {}
+    keys: List[str] = []
+    for diagnostic in findings:
+        n = seen.get(diagnostic.key, 0) + 1
+        seen[diagnostic.key] = n
+        keys.append(f"{diagnostic.key}#{n}")
+    return keys
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Occurrence-indexed baseline keys (empty if no file).
+
+    Accepts the current v2 list format and migrates v1 counted entries
+    (``{key: count}`` becomes ``key#1 .. key#count``) transparently.
+    """
     path = Path(path)
     if not path.exists():
-        return {}
+        return set()
     payload = json.loads(path.read_text())
-    if payload.get("version") != BASELINE_VERSION:
+    version = payload.get("version")
+    entries = payload.get("entries", [])
+    if version == 1:
+        return {
+            f"{key}#{i}"
+            for key, count in entries.items()
+            for i in range(1, int(count) + 1)
+        }
+    if version != BASELINE_VERSION:
         raise ValueError(
-            f"unsupported lint baseline version {payload.get('version')!r} "
+            f"unsupported lint baseline version {version!r} "
             f"in {path} (expected {BASELINE_VERSION})"
         )
-    entries = payload.get("entries", {})
-    return {str(k): int(v) for k, v in entries.items()}
+    return {str(k) for k in entries}
 
 
-def save_baseline(path: Path, findings: Iterable[Diagnostic]) -> Dict[str, int]:
+def save_baseline(path: Path, findings: Sequence[Diagnostic]) -> List[str]:
     """Freeze ``findings`` as the new baseline; returns the entries."""
-    entries: Dict[str, int] = {}
-    for diagnostic in findings:
-        entries[diagnostic.key] = entries.get(diagnostic.key, 0) + 1
-    payload = {
-        "version": BASELINE_VERSION,
-        "entries": dict(sorted(entries.items())),
-    }
+    entries = sorted(baseline_keys(findings))
+    payload = {"version": BASELINE_VERSION, "entries": entries}
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     return entries
 
 
 def diff_against_baseline(
-    findings: Sequence[Diagnostic], baseline: Dict[str, int]
+    findings: Sequence[Diagnostic], baseline: Set[str]
 ) -> BaselineDiff:
     """Split findings into new-vs-known; surplus occurrences of a known
-    key (the same line duplicated) count as new."""
-    remaining = dict(baseline)
+    key (the same line duplicated again) index past the baselined ones
+    and count as new."""
     diff = BaselineDiff()
-    for diagnostic in findings:
-        if remaining.get(diagnostic.key, 0) > 0:
-            remaining[diagnostic.key] -= 1
+    matched: Set[str] = set()
+    for diagnostic, indexed in zip(findings, baseline_keys(findings)):
+        if indexed in baseline:
+            matched.add(indexed)
             diff.known.append(diagnostic)
         else:
             diff.new.append(diagnostic)
-    diff.stale = sorted(k for k, count in remaining.items() if count > 0)
+    diff.stale = sorted(set(baseline) - matched)
     return diff

@@ -4,10 +4,12 @@ Usage (via the top-level CLI)::
 
     repro lint                      # lint src/ + benchmarks/, text report
     repro lint --format json        # machine-readable findings
+    repro lint --format github      # ::error annotations for Actions
     repro lint --strict             # also fail on stale baseline entries
     repro lint --update-baseline    # freeze current findings
     repro lint --list-passes        # rule catalogue
     repro lint --select dtype-width,lock-order src/repro/dist
+    repro lint --paths src,benchmarks  # same as positional targets
 
 Exit codes: 0 clean (or all findings baselined), 1 new findings (or,
 under ``--strict``, stale baseline entries), 2 usage/parse errors.
@@ -66,9 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); `github` emits Actions "
+        "::error annotations that render inline on PRs",
+    )
+    parser.add_argument(
+        "--paths",
+        default=None,
+        help="comma-separated directories/files to lint (merged with "
+        "any positional targets; handy where positionals are awkward, "
+        "e.g. workflow matrices)",
     )
     parser.add_argument(
         "--baseline",
@@ -116,6 +126,30 @@ def _collect(root: Path, targets: Sequence[str]) -> List[SourceModule]:
     return modules
 
 
+def _escape_data(text: str) -> str:
+    """GitHub Actions workflow-command escaping for the message part."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(text: str) -> str:
+    """Escaping for the ``key=value`` property part (also , and :)."""
+    return _escape_data(text).replace(":", "%3A").replace(",", "%2C")
+
+
+def _github_annotation(diagnostic: Diagnostic) -> str:
+    """One ``::error`` workflow command — GitHub renders it inline on
+    the PR diff at the offending line."""
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += f"\nhint: {diagnostic.hint}"
+    return (
+        f"::error file={_escape_property(diagnostic.path)},"
+        f"line={diagnostic.line},col={diagnostic.col},"
+        f"title={_escape_property('repro lint [' + diagnostic.rule + ']')}"
+        f"::{_escape_data(message)}"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -129,7 +163,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     root = Path(args.root).resolve()
-    targets = args.targets or list(DEFAULT_TARGETS)
+    targets = list(args.targets or ())
+    if args.paths:
+        targets += [p.strip() for p in args.paths.split(",") if p.strip()]
+    if not targets:
+        targets = list(DEFAULT_TARGETS)
     select = None
     if args.select:
         select = [s.strip() for s in args.select.split(",") if s.strip()]
@@ -154,10 +192,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
     diff = diff_against_baseline(findings, baseline)
 
-    if args.format == "json":
+    if args.format == "github":
+        for diagnostic in diff.new:
+            print(_github_annotation(diagnostic))
+        summary = (
+            f"{len(modules)} file(s) checked, "
+            f"{len(diff.new)} new finding(s)"
+        )
+        if diff.stale:
+            summary += f", {len(diff.stale)} stale baseline entrie(s)"
+        print(("FAIL: " if diff.new else "OK: ") + summary)
+    elif args.format == "json":
         payload = {
             "root": str(root),
             "passes": [p.rule for p in get_passes(select)],

@@ -302,13 +302,23 @@ class DeterminismPass(LintPass):
     rule = "determinism"
     title = "seeded regions stay seeded; clocks stay monotonic"
     description = (
-        "no legacy global-state np.random.* calls, no unseeded "
-        "default_rng(), no wall-clock time.time() in library code"
+        "no legacy global-state np.random.* calls, no stdlib "
+        "random.* module-global calls, no unseeded default_rng(), "
+        "no wall-clock time.time() in library code"
     )
 
     _LEGACY_RANDOM = (
         "rand", "randn", "randint", "random", "seed", "choice", "shuffle",
         "permutation", "normal", "uniform",
+    )
+    #: Stdlib ``random`` module-level functions share one hidden Mersenne
+    #: state across every caller in the process — same reproducibility
+    #: hazard as the numpy legacy API.  ``random.Random(seed)`` instances
+    #: are fine (the chain then starts with the instance, not ``random``).
+    _STDLIB_RANDOM = (
+        "random", "seed", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "gauss", "betavariate",
+        "expovariate", "getrandbits", "random_bytes", "normalvariate",
     )
     _WALL_CLOCKS = ("time.time", "datetime.now", "datetime.datetime.now")
     _HINT_RNG = (
@@ -342,6 +352,15 @@ class DeterminismPass(LintPass):
                         "process-wide, unseedable per run",
                         self._HINT_RNG,
                     ))
+            elif chain.startswith("random.") and chain.count(".") == 1 \
+                    and chain.rsplit(".", 1)[-1] in self._STDLIB_RANDOM:
+                out.append(self.diag(
+                    module, node,
+                    f"stdlib module-global RNG call {chain}() — one "
+                    "hidden Mersenne state shared process-wide",
+                    "use a local random.Random(seed) instance (or the "
+                    "numpy Generator already threaded through)",
+                ))
             elif chain in self._WALL_CLOCKS:
                 out.append(self.diag(
                     module, node,

@@ -27,11 +27,25 @@ per ring, say — form one order class, matching the static pass's
 subscript-wildcarding.  The graph is intentionally never pruned on
 release: lock order is a program-wide law, not a per-window one.
 
-Enable with ``REPRO_SANITIZE=locks`` (comma-separated list; only the
-``locks`` token is currently defined).  Tests use :func:`reset` to
-clear the global graph between cases and
+Enable with ``REPRO_SANITIZE=locks`` (comma-separated list).  Tests
+use :func:`reset` to clear the global graph between cases and
 :func:`install_sanitizer`/:func:`locks_enabled` to force the mode
 without touching the environment.
+
+The ``protocol`` token enables the second sanitizer in this module:
+the runtime mirror of the static ``typestate`` pass.
+:func:`wrap_protocol` wraps a live transport/endpoint/handle in a
+:class:`TypestateProxy` that advances the *same* state tables
+(:data:`repro.analysis.typestate.PROTOCOLS`) on every protocol-event
+method call and raises :class:`ProtocolError` at the first illegal
+transition — ``send`` on a closed endpoint, a handle completed twice,
+``launch`` re-entered while one is in flight.  Unlike the static pass
+(which sees whole call statements), the proxy advances ``e`` on entry
+and the paired ``e_done`` on return, so *re-entrant* violations that
+only a second thread can produce are caught too.  Proxies forward
+everything else untouched, report the wrapped object's ``__class__``
+(``isinstance`` keeps working), and unwrap proxied arguments before
+forwarding, so transports cannot observe the difference.
 """
 
 from __future__ import annotations
@@ -42,18 +56,24 @@ from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = [
     "LockOrderError",
+    "ProtocolError",
     "SanitizedLock",
+    "TypestateProxy",
+    "install_protocol_sanitizer",
     "install_sanitizer",
     "locks_enabled",
     "make_lock",
+    "protocol_enabled",
     "reset",
     "reset_graph",
+    "wrap_protocol",
 ]
 
 ENV_VAR = "REPRO_SANITIZE"
 
 #: Forced mode: None → consult the environment, True/False → override.
 _forced: Optional[bool] = None
+_forced_protocol: Optional[bool] = None
 
 #: Global observed-order graph over lock *names*: name -> names that
 #: have been acquired while it was held.
@@ -101,10 +121,29 @@ def reset_graph() -> None:
         _witness.clear()
 
 
+def protocol_enabled() -> bool:
+    """True when typestate proxying is active for :func:`wrap_protocol`."""
+    if _forced_protocol is not None:
+        return _forced_protocol
+    tokens = os.environ.get(ENV_VAR, "")
+    return "protocol" in {t.strip() for t in tokens.split(",")}
+
+
+def install_protocol_sanitizer(enabled: bool = True) -> None:
+    """Force protocol sanitising on/off regardless of ``REPRO_SANITIZE``.
+
+    Affects :func:`wrap_protocol` calls made *after* this; objects
+    already wrapped keep their proxies.
+    """
+    global _forced_protocol
+    _forced_protocol = enabled
+
+
 def reset() -> None:
-    """Clear the global order graph and forced mode (test isolation)."""
-    global _forced
+    """Clear the global order graph and forced modes (test isolation)."""
+    global _forced, _forced_protocol
     _forced = None
+    _forced_protocol = None
     reset_graph()
 
 
@@ -209,3 +248,139 @@ def make_lock(name: str):
     if locks_enabled():
         return SanitizedLock(name)
     return threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Protocol (typestate) sanitizer
+# ----------------------------------------------------------------------
+class ProtocolError(RuntimeError):
+    """An observed illegal typestate transition on a live object."""
+
+
+def _unwrap(value):
+    return object.__getattribute__(value, "_ts_obj") \
+        if isinstance(value, TypestateProxy) else value
+
+
+class TypestateProxy:
+    """Forwarding wrapper that advances a typestate table per call.
+
+    Protocol-event methods (the protocol's alphabet) are intercepted:
+    the event fires on *entry* (raising :class:`ProtocolError` while
+    still in the old state if the table has no transition), and the
+    paired ``<event>_done`` — when the table declares one — fires on
+    return, which is what lets a *re-entrant* ``launch`` raise while a
+    sequential one stays legal.  Declared argument events
+    (``complete_exchange(handle)`` → the handle's ``complete``) fire on
+    proxied arguments, and protocol-typed return values (an exchange
+    handle from ``post_exchange``) come back pre-wrapped so the whole
+    object graph stays under the sanitizer.  Everything else forwards
+    untouched; ``__class__`` reports the wrapped type so ``isinstance``
+    checks in the transport layer keep passing.
+    """
+
+    __slots__ = ("_ts_obj", "_ts_protocol", "_ts_state", "_ts_lock")
+
+    def __init__(self, obj, protocol) -> None:
+        object.__setattr__(self, "_ts_obj", obj)
+        object.__setattr__(self, "_ts_protocol", protocol)
+        object.__setattr__(self, "_ts_state", protocol.start)
+        object.__setattr__(self, "_ts_lock", threading.Lock())
+
+    # -- state machine --------------------------------------------------
+    def _ts_advance(self, event: str) -> None:
+        protocol = object.__getattribute__(self, "_ts_protocol")
+        lock = object.__getattribute__(self, "_ts_lock")
+        with lock:
+            state = object.__getattribute__(self, "_ts_state")
+            nxt, message = protocol.advance(state, event, auto_done=False)
+            if nxt is None:
+                obj = object.__getattribute__(self, "_ts_obj")
+                raise ProtocolError(
+                    f"{protocol.name} protocol violation on "
+                    f"{type(obj).__name__}: {message} "
+                    f"(state {state!r}, event {event!r})"
+                )
+            object.__setattr__(self, "_ts_state", nxt)
+
+    def _ts_call(self, method: str, bound, args, kwargs):
+        protocol = object.__getattribute__(self, "_ts_protocol")
+        fire = method in protocol.alphabet
+        if fire:
+            self._ts_advance(method)
+        # Declared argument events: the *argument* is the protocol
+        # object (an exchange handle handed back for completion).
+        if args and isinstance(args[0], TypestateProxy):
+            arg = args[0]
+            arg_protocol = object.__getattribute__(arg, "_ts_protocol")
+            arg_event = arg_protocol.arg_events.get(method)
+            if arg_event is not None:
+                arg._ts_advance(arg_event)
+        try:
+            result = bound(*[_unwrap(a) for a in args],
+                           **{k: _unwrap(v) for k, v in kwargs.items()})
+        finally:
+            if fire:
+                done = method + "_done"
+                if any(e == done for _s, e in protocol.transitions):
+                    self._ts_advance(done)
+        # ``.method`` constructor patterns: this call *produced* a
+        # protocol object (post_exchange -> an exchange handle).
+        if result is not None:
+            for table in _protocol_tables():
+                if "." + method in table.constructors:
+                    return wrap_protocol(result, table)
+        return wrap_protocol(result)
+
+    # -- transparent forwarding ----------------------------------------
+    def __getattr__(self, name: str):
+        obj = object.__getattribute__(self, "_ts_obj")
+        value = getattr(obj, name)
+        if callable(value) and not name.startswith("__"):
+            protocol = object.__getattribute__(self, "_ts_protocol")
+            if name in protocol.alphabet or any(
+                name in p.arg_events for p in _protocol_tables()
+            ):
+                def guarded(*args, **kwargs):
+                    return TypestateProxy._ts_call(
+                        self, name, value, args, kwargs
+                    )
+                return guarded
+        return value
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(object.__getattribute__(self, "_ts_obj"), name, value)
+
+    @property
+    def __class__(self):  # noqa: F811 - deliberate isinstance lie
+        return type(object.__getattribute__(self, "_ts_obj"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        obj = object.__getattribute__(self, "_ts_obj")
+        state = object.__getattribute__(self, "_ts_state")
+        return f"TypestateProxy({obj!r}, state={state!r})"
+
+
+def _protocol_tables():
+    from .typestate import PROTOCOLS
+
+    return PROTOCOLS
+
+
+def wrap_protocol(obj, protocol=None):
+    """``obj`` wrapped in a :class:`TypestateProxy` when the protocol
+    sanitizer is on and a table governs its class; ``obj`` unchanged
+    otherwise (including when it is already wrapped).  This is the
+    identity function in production: transports call it at the worker
+    boundary unconditionally and pay nothing unless
+    ``REPRO_SANITIZE=protocol`` is set.
+    """
+    if not protocol_enabled() or isinstance(obj, TypestateProxy):
+        return obj
+    if protocol is None:
+        from .typestate import protocol_for_class
+
+        protocol = protocol_for_class(type(obj).__name__)
+    if protocol is None:
+        return obj
+    return TypestateProxy(obj, protocol)

@@ -1,0 +1,364 @@
+"""Typestate verification for the transport protocol objects.
+
+The transport layer's objects have *protocols*, not just APIs: an
+:class:`~repro.dist.transport.Endpoint` is driven
+``launch -> exchange* -> close`` and must never move bytes after
+``close``; an :class:`~repro.dist.transport.ExchangeHandle` is redeemed
+exactly once; a :class:`~repro.dist.transport.Transport` must not have
+``launch`` re-entered while a launch is in flight.  This module
+declares those protocols **as data** (:data:`PROTOCOLS`) — a start
+state plus a ``(state, event) -> state`` table — so the elastic-
+recovery rewrite can extend them (add a ``recovering`` state, a
+``relaunch`` event) without touching the checker machinery, and so the
+same tables drive both:
+
+* the static :class:`TypestatePass` below — a forward dataflow over
+  the function CFG tracking the state *set* of every local variable
+  bound to a protocol object, reporting the first event that has no
+  legal transition from some reachable state (``send`` after
+  ``close``, a handle completed twice, ...), and
+* the runtime ``REPRO_SANITIZE=protocol`` proxies in
+  :mod:`repro.analysis.sanitizer`, which advance the same tables on
+  live objects and raise ``ProtocolError`` on the first illegal
+  transition.
+
+Synchronous-call convention: a method event ``e`` whose completion
+matters separately (``launch``) declares a paired ``e_done``
+transition.  The runtime advances ``e`` on entry and ``e_done`` on
+return; the static pass — which only sees whole call statements —
+applies ``e`` and then auto-applies ``e_done`` when one is declared,
+so a *sequential* re-launch is legal in source while a *re-entrant*
+one still trips the runtime proxy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from .dataflow import (
+    CFG,
+    CFGNode,
+    dotted_name,
+    escaping_loads,
+    header_roots,
+    solve_forward,
+)
+from .engine import Diagnostic, FlowPass, SourceModule, register_pass
+
+__all__ = [
+    "PROTOCOLS",
+    "Protocol",
+    "TypestatePass",
+    "protocol_for_class",
+]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """One object protocol: a state machine over method-call events.
+
+    ``constructors`` name the call sites that create an instance in
+    ``start`` — class-name patterns (a trailing ``*`` matches a name
+    suffix, so ``"*Endpoint"`` covers every endpoint class) and/or
+    producer methods written ``".method"`` (``".post_exchange"`` —
+    the *result* of the call is the protocol object).  ``arg_events``
+    map a method name to an event applied to that call's first
+    argument (``complete_exchange(handle)`` advances the *handle*).
+    Events appearing in no transition from the current state are
+    illegal; ``errors`` supplies the human message for the pairs worth
+    explaining.
+    """
+
+    name: str
+    start: str
+    constructors: Tuple[str, ...]
+    transitions: Mapping[Tuple[str, str], str]
+    errors: Mapping[Tuple[str, str], str] = field(default_factory=dict)
+    arg_events: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def alphabet(self) -> FrozenSet[str]:
+        return frozenset(e for _s, e in self.transitions) | frozenset(
+            e for _s, e in self.errors
+        )
+
+    def advance(self, state: str, event: str,
+                auto_done: bool = True) -> Tuple[Optional[str], str]:
+        """``(new_state, "")`` on a legal event, ``(None, message)`` on
+        an illegal one.  With ``auto_done`` (the static pass, which
+        sees whole call statements), a declared ``<event>_done``
+        completion is applied immediately; the runtime proxies pass
+        ``auto_done=False`` and fire ``<event>_done`` on return."""
+        if event not in self.alphabet:
+            return state, ""  # not a protocol event — no state change
+        nxt = self.transitions.get((state, event))
+        if nxt is None:
+            message = self.errors.get(
+                (state, event),
+                f"{event}() is illegal in state {state!r}",
+            )
+            return None, message
+        if auto_done:
+            done = self.transitions.get((nxt, event + "_done"))
+            if done is not None:
+                return done, ""
+        return nxt, ""
+
+    def matches_constructor(self, callee: str) -> bool:
+        """Does a dotted callee name create an instance of this type?"""
+        last = callee.rsplit(".", 1)[-1]
+        for pattern in self.constructors:
+            if pattern.startswith("."):
+                if callee.endswith(pattern) or callee == pattern[1:]:
+                    return True
+            elif pattern.startswith("*"):
+                if last.endswith(pattern[1:]):
+                    return True
+            elif last == pattern:
+                return True
+        return False
+
+
+_DATA_OPS = ("send", "isend", "recv", "exchange", "post_exchange",
+             "complete_exchange", "allreduce")
+
+#: The transport-layer protocol tables.  Declared as plain data so the
+#: recovery rewrite extends them by adding rows, not code.
+ENDPOINT_PROTOCOL = Protocol(
+    name="endpoint",
+    start="open",
+    constructors=("*Endpoint",),
+    transitions={
+        **{("open", op): "open" for op in _DATA_OPS},
+        ("open", "close"): "closed",
+    },
+    errors={
+        **{("closed", op): f"{op}() on a closed endpoint"
+           for op in _DATA_OPS},
+        ("closed", "close"): "endpoint closed twice",
+    },
+)
+
+TRANSPORT_PROTOCOL = Protocol(
+    name="transport",
+    start="idle",
+    constructors=("*Transport", "*Communicator"),
+    transitions={
+        ("idle", "launch"): "launching",
+        ("launching", "launch_done"): "idle",
+    },
+    errors={
+        ("launching", "launch"): (
+            "double-launch: launch() re-entered while a launch is "
+            "already in flight on this transport"
+        ),
+    },
+)
+
+EXCHANGE_HANDLE_PROTOCOL = Protocol(
+    name="exchange-handle",
+    start="posted",
+    constructors=(".post_exchange",),
+    transitions={("posted", "complete"): "completed"},
+    errors={
+        ("completed", "complete"): "exchange handle completed twice",
+    },
+    arg_events={"complete_exchange": "complete"},
+)
+
+#: ``_SendTicket`` has no illegal transition *today* (join and
+#: ``is_alive`` are re-entrant by design); the table exists so the
+#: recovery rewrite can make states like ``abandoned`` illegal to join
+#: by adding rows rather than a new checker.
+SEND_TICKET_PROTOCOL = Protocol(
+    name="send-ticket",
+    start="pending",
+    constructors=("_SendTicket", ".isend"),
+    transitions={
+        ("pending", "join"): "pending",
+        ("pending", "is_alive"): "pending",
+    },
+)
+
+PROTOCOLS: Tuple[Protocol, ...] = (
+    ENDPOINT_PROTOCOL,
+    TRANSPORT_PROTOCOL,
+    EXCHANGE_HANDLE_PROTOCOL,
+    SEND_TICKET_PROTOCOL,
+)
+
+
+def protocol_for_class(class_name: str) -> Optional[Protocol]:
+    """The protocol (if any) governing instances of ``class_name`` —
+    the runtime sanitizer's lookup when wrapping a live object."""
+    for protocol in PROTOCOLS:
+        if protocol.matches_constructor(class_name):
+            return protocol
+    return None
+
+
+def _constructed_protocol(call: ast.Call) -> Optional[Protocol]:
+    callee = dotted_name(call.func)
+    if callee is None:
+        return None
+    for protocol in PROTOCOLS:
+        if protocol.matches_constructor(callee):
+            return protocol
+    return None
+
+
+# ----------------------------------------------------------------------
+# The static pass
+# ----------------------------------------------------------------------
+#: Dataflow state: var -> (protocol name, frozenset of possible states).
+#: The state *set* makes the join a plain union: after ``if c:
+#: ep.close()`` the endpoint is {open, closed}, and a later send is
+#: reported as illegal on the closed branch.
+_State = Dict[str, Tuple[str, FrozenSet[str]]]
+
+_BY_NAME = {p.name: p for p in PROTOCOLS}
+
+
+def _join(a: _State, b: _State) -> _State:
+    out = dict(a)
+    for var, (proto, states) in b.items():
+        if var in out and out[var][0] == proto:
+            out[var] = (proto, out[var][1] | states)
+        else:
+            out[var] = (proto, states)
+    return out
+
+
+class TypestatePass(FlowPass):
+    rule = "typestate"
+    title = "protocol objects must follow their declared state machines"
+    description = (
+        "flow-sensitive: endpoints/transports/handles tracked through "
+        "the CFG against the PROTOCOLS tables (send-after-close, "
+        "double-complete, ...); REPRO_SANITIZE=protocol is the "
+        "runtime mirror"
+    )
+
+    def run_cfg(self, module: SourceModule, cfg: CFG) -> List[Diagnostic]:
+        findings: Dict[Tuple[int, str], Diagnostic] = {}
+
+        def transfer(node: CFGNode, state: _State):
+            if node.stmt is None or node.kind in ("finally", "except"):
+                return state, state
+            stmt = node.stmt
+            roots = header_roots(node)
+            out = dict(state)
+            protocol_args: set = set()
+            # 1. Apply protocol events (method calls on tracked vars).
+            for call in [n for root in roots for n in ast.walk(root)
+                         if isinstance(n, ast.Call)]:
+                for var, event, is_arg in self._events_of(call, out):
+                    if is_arg:
+                        protocol_args.add(var)
+                    proto_name, states = out[var]
+                    protocol = _BY_NAME[proto_name]
+                    survivors = set()
+                    for st in states:
+                        nxt, message = protocol.advance(st, event)
+                        if nxt is None:
+                            key = (call.lineno, f"{var}.{event}")
+                            if key not in findings:
+                                findings[key] = self.diag(
+                                    module, call,
+                                    f"{protocol.name} protocol: {message} "
+                                    f"(variable {var!r})",
+                                    hint="re-order the calls to follow "
+                                    "the protocol table in "
+                                    "repro.analysis.typestate, or waive "
+                                    "with a justified "
+                                    "# repro-lint: ignore[typestate]",
+                                )
+                            # Stop tracking to avoid cascading reports.
+                        else:
+                            survivors.add(nxt)
+                    if survivors:
+                        out[var] = (proto_name, frozenset(survivors))
+                    else:
+                        out.pop(var, None)
+            # 2. Escapes end tracking (the object now has other owners).
+            # An argument that just fired a declared arg-event stays
+            # tracked — handing a handle to complete_exchange is the
+            # protocol, not an escape.
+            for root in roots:
+                for var in escaping_loads(root, tuple(out)):
+                    if var not in protocol_args:
+                        out.pop(var, None)
+            exc_out = dict(out)
+            if node.kind == "with-exit":
+                return out, exc_out  # __exit__ binds nothing new
+            # 3. New bindings (acquisitions happen on the normal edge
+            # only: a constructor that raised bound nothing).
+            target = self._bound_call(stmt)
+            if target is not None:
+                var, call = target
+                protocol = _constructed_protocol(call)
+                if protocol is not None:
+                    out[var] = (protocol.name, frozenset({protocol.start}))
+                else:
+                    out.pop(var, None)  # rebound to something untracked
+            else:
+                for var in self._rebound_names(stmt):
+                    out.pop(var, None)
+            return out, exc_out
+
+        solve_forward(cfg, {}, transfer, _join)
+        return sorted(findings.values(), key=lambda d: (d.line, d.col))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _events_of(
+        call: ast.Call, state: _State
+    ) -> List[Tuple[str, str, bool]]:
+        """(tracked var, event, via-argument?) triples this call fires:
+        a method call on a tracked receiver, and/or a declared
+        arg-event on a tracked first argument."""
+        events: List[Tuple[str, str, bool]] = []
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id in state:
+                events.append((receiver.id, method, False))
+            if call.args and isinstance(call.args[0], ast.Name):
+                arg = call.args[0].id
+                if arg in state:
+                    protocol = _BY_NAME[state[arg][0]]
+                    event = protocol.arg_events.get(method)
+                    if event is not None:
+                        events.append((arg, event, True))
+        return events
+
+    @staticmethod
+    def _bound_call(stmt: ast.stmt) -> Optional[Tuple[str, ast.Call]]:
+        """``var = SomeCall(...)`` — the tracking entry point (also
+        ``with SomeCall(...) as var:``)."""
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Call):
+            return stmt.targets[0].id, stmt.value
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.context_expr, ast.Call) \
+                        and isinstance(item.optional_vars, ast.Name):
+                    return item.optional_vars.id, item.context_expr
+        return None
+
+    @staticmethod
+    def _rebound_names(stmt: ast.stmt) -> List[str]:
+        """Names this statement rebinds to something untracked."""
+        if isinstance(stmt, ast.Assign):
+            return [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [n.id for n in ast.walk(stmt.target)
+                    if isinstance(n, ast.Name)]
+        return []
+
+
+register_pass(TypestatePass())

@@ -604,10 +604,13 @@ class ProcessRankExecutor:
         # epochs must not be cut short by the transport default.  (A
         # transport passed in keeps its own recv_timeout; dead peers
         # surface via EOF either way.)
-        self.transport = resolve_transport(
+        # wrap_protocol is the identity unless REPRO_SANITIZE=protocol
+        # is set, in which case the transport's typestate table (no
+        # re-entrant launch, ...) is enforced on every call.
+        self.transport = lock_sanitizer.wrap_protocol(resolve_transport(
             "multiprocess" if transport is None else transport,
             m, dtype=self.dtype, recv_timeout=timeout,
-        )
+        ))
         # Mirror DistributedTrainer's RNG derivation exactly so seeded
         # runs draw identical boundary samples.
         root = np.random.default_rng(seed)

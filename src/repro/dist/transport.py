@@ -77,7 +77,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.sanitizer import make_lock
+from ..analysis.sanitizer import make_lock, wrap_protocol
 from ..tensor.dtype import float_dtype_for_nbytes, resolve_dtype, scalar_nbytes
 
 __all__ = [
@@ -725,7 +725,11 @@ class LocalTransport(Transport):
 
         def run(rank: int) -> None:
             try:
-                results[rank] = worker(endpoints[rank], payloads[rank])
+                # Identity unless REPRO_SANITIZE=protocol is on, in
+                # which case the endpoint enforces its typestate table.
+                results[rank] = worker(
+                    wrap_protocol(endpoints[rank]), payloads[rank]
+                )
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 failures.append((rank, exc, traceback.format_exc()))
                 failed.set()
@@ -831,7 +835,11 @@ def _proc_rank_main(worker, rank, num_parts, bytes_per_scalar, recv_timeout,
             endpoint_extra,
         )
         payload = parent_conn.recv()
-        result = worker(endpoint, payload)
+        # The worker sees its endpoint through the typestate proxy
+        # under REPRO_SANITIZE=protocol (identity otherwise); the
+        # harness close() in the finally below deliberately bypasses
+        # it — infrastructure cleanup is not a protocol event.
+        result = worker(wrap_protocol(endpoint), payload)
         parent_conn.send(("ok", result, endpoint.meter))
     except BaseException:  # noqa: BLE001 - serialised back to the parent
         try:
@@ -1014,6 +1022,10 @@ def _unlink_stale_segments() -> None:  # pragma: no cover - shutdown path
         try:
             from multiprocessing import shared_memory
 
+            # This *is* the creator: _LIVE_SEGMENTS only ever holds
+            # names this process created, so the re-attach-and-unlink
+            # here upholds creator-owns-unlink rather than breaking it.
+            # repro-lint: ignore[lifecycle]
             shared_memory.SharedMemory(name=name).unlink()
         except Exception:
             pass
@@ -1225,9 +1237,20 @@ class _ShmRing:
                 f"could not allocate a {nbytes}-byte shared-memory ring "
                 f"({exc}); is /dev/shm large enough?"
             ) from exc
-        _LIVE_SEGMENTS.add(shm.name)
-        ring = cls(shm)
-        ring._ctrl[:] = 0
+        try:
+            _LIVE_SEGMENTS.add(shm.name)
+            ring = cls(shm)
+            ring._ctrl[:] = 0
+        except BaseException:
+            # The segment exists kernel-side the moment create=True
+            # returns; if mapping it fails we must tear it down here or
+            # it lingers in /dev/shm until the atexit backstop.
+            try:
+                shm.close()  # may refuse while half-built views map it
+            finally:
+                shm.unlink()
+                _LIVE_SEGMENTS.discard(shm.name)
+            raise
         return ring
 
     @classmethod

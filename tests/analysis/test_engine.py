@@ -129,20 +129,38 @@ class TestBaseline:
         findings = [self._diag("x = 8"), self._diag("x = 8", line=9),
                     self._diag("y = 4")]
         entries = save_baseline(path, findings)
-        assert entries[findings[0].key] == 2
+        # Identical stripped lines no longer collide: each occurrence
+        # gets its own ``#n``-indexed entry.
+        assert f"{findings[0].key}#1" in entries
+        assert f"{findings[0].key}#2" in entries
+        assert len(entries) == 3
         loaded = load_baseline(path)
-        assert loaded == entries
+        assert loaded == set(entries)
         payload = json.loads(path.read_text())
         assert payload["version"] == BASELINE_VERSION
 
     def test_missing_file_is_empty_baseline(self, tmp_path):
-        assert load_baseline(tmp_path / "nope.json") == {}
+        assert load_baseline(tmp_path / "nope.json") == set()
 
     def test_version_mismatch_rejected(self, tmp_path):
         path = tmp_path / "baseline.json"
-        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        path.write_text(json.dumps({"version": 99, "entries": []}))
         with pytest.raises(ValueError, match="version"):
             load_baseline(path)
+
+    def test_v1_counted_baseline_migrates(self, tmp_path):
+        d = self._diag("x = 8")
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"version": 1, "entries": {d.key: 2}}
+        ))
+        loaded = load_baseline(path)
+        assert loaded == {f"{d.key}#1", f"{d.key}#2"}
+        # A v1 pair of duplicate findings stays fully baselined...
+        diff = diff_against_baseline(
+            [d, self._diag("x = 8", line=9)], loaded
+        )
+        assert len(diff.known) == 2 and diff.new == [] and diff.stale == []
 
     def test_diff_splits_new_known_stale(self, tmp_path):
         known = self._diag("x = 8")
@@ -153,7 +171,7 @@ class TestBaseline:
         diff = diff_against_baseline([known, new], load_baseline(path))
         assert [d.key for d in diff.known] == [known.key]
         assert [d.key for d in diff.new] == [new.key]
-        assert diff.stale == [gone.key]
+        assert diff.stale == [f"{gone.key}#1"]
 
     def test_surplus_occurrences_of_known_key_are_new(self, tmp_path):
         d = self._diag("x = 8")

@@ -396,6 +396,30 @@ class TestDeterminism:
         assert len(found) == 1
         assert "wall-clock" in found[0].message
 
+    def test_stdlib_module_global_random_flagged(self):
+        found = lint(
+            """
+            import random
+            random.seed(0)
+            x = random.random()
+            """,
+            self.RULE,
+        )
+        assert [d.rule for d in found] == ["determinism"] * 2
+        assert all("Mersenne" in d.message for d in found)
+        assert lines(found) == [3, 4]
+
+    def test_stdlib_random_instance_clean(self):
+        found = lint(
+            """
+            import random
+            rng = random.Random(seed)
+            x = rng.random()
+            """,
+            self.RULE,
+        )
+        assert found == []
+
     def test_clean_twin_silent(self):
         found = lint(
             """
@@ -412,6 +436,8 @@ class TestDeterminism:
 @pytest.mark.parametrize("rule", [
     "dtype-width", "metering", "kernel-purity", "discarded-result",
     "blocking-in-lock", "lock-order", "determinism",
+    # Flow-sensitive (CFG) rules — fixtures in test_flow_passes.py.
+    "lifecycle", "exception-safety", "typestate",
 ])
 def test_every_registered_pass_has_a_fixture_class(rule):
     """Meta-check: the parametrised rule list above must cover exactly
@@ -425,5 +451,6 @@ def test_no_registered_pass_lacks_fixtures():
     covered = {
         "dtype-width", "metering", "kernel-purity", "discarded-result",
         "blocking-in-lock", "lock-order", "determinism",
+        "lifecycle", "exception-safety", "typestate",
     }
     assert set(pass_names()) == covered

@@ -34,7 +34,7 @@ def test_tree_is_clean_against_committed_baseline():
 def test_committed_baseline_is_empty():
     # The repo's policy: violations are fixed, not baselined.  If this
     # fails, a finding was frozen instead of fixed — justify or fix.
-    assert load_baseline(REPO_ROOT / DEFAULT_BASELINE_NAME) == {}
+    assert load_baseline(REPO_ROOT / DEFAULT_BASELINE_NAME) == set()
 
 
 def test_cli_exits_zero_on_clean_tree(capsys):

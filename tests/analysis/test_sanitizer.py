@@ -146,3 +146,142 @@ class TestTransportIntegration:
         ep = _ShmEndpoint(0, 2, 8, 1.0, {}, {}, {})
         waiter = ep._waiter(1, "waiting for")
         assert isinstance(waiter.lock, SanitizedLock)
+
+
+class TestProtocolGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+        assert not sanitizer.protocol_enabled()
+        obj = object()
+        assert sanitizer.wrap_protocol(obj) is obj
+
+    def test_env_var_token(self, monkeypatch):
+        monkeypatch.setenv(sanitizer.ENV_VAR, "locks,protocol")
+        assert sanitizer.protocol_enabled()
+        monkeypatch.setenv(sanitizer.ENV_VAR, "locks")
+        assert not sanitizer.protocol_enabled()
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+        sanitizer.install_protocol_sanitizer(True)
+        assert sanitizer.protocol_enabled()
+        sanitizer.install_protocol_sanitizer(False)
+        assert not sanitizer.protocol_enabled()
+
+    def test_unknown_class_not_wrapped(self):
+        sanitizer.install_protocol_sanitizer(True)
+
+        class Plain:
+            pass
+
+        obj = Plain()
+        assert sanitizer.wrap_protocol(obj) is obj
+
+
+class _FakeEndpoint:
+    """Class-name suffix matches the endpoint protocol table."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, dst, arr, tag=0):
+        self.sent.append((dst, tag))
+        return "sent"
+
+    def recv(self, src, tag=0):
+        return "got"
+
+    def post_exchange(self, parts, peers, tag):
+        return _FakeHandle()
+
+    def complete_exchange(self, handle):
+        assert isinstance(handle, _FakeHandle)  # proxies are unwrapped
+        return "completed"
+
+    def close(self):
+        return None
+
+
+class _FakeHandle:
+    pass
+
+
+class _FakeTransport:
+    def launch(self, worker=None):
+        if worker is not None:
+            return worker()
+        return "done"
+
+
+class TestTypestateProxy:
+    @pytest.fixture(autouse=True)
+    def enabled(self):
+        sanitizer.install_protocol_sanitizer(True)
+        yield
+
+    def test_wraps_and_preserves_isinstance(self):
+        ep = sanitizer.wrap_protocol(_FakeEndpoint())
+        assert type(ep) is sanitizer.TypestateProxy
+        assert isinstance(ep, _FakeEndpoint)
+
+    def test_already_wrapped_is_identity(self):
+        ep = sanitizer.wrap_protocol(_FakeEndpoint())
+        assert sanitizer.wrap_protocol(ep) is ep
+
+    def test_legal_traffic_passes_through(self):
+        ep = sanitizer.wrap_protocol(_FakeEndpoint())
+        assert ep.send(1, b"x") == "sent"
+        assert ep.recv(1) == "got"
+        ep.close()
+
+    def test_send_after_close_raises(self):
+        ep = sanitizer.wrap_protocol(_FakeEndpoint())
+        ep.close()
+        with pytest.raises(sanitizer.ProtocolError, match="closed endpoint"):
+            ep.send(1, b"x")
+
+    def test_double_close_raises(self):
+        ep = sanitizer.wrap_protocol(_FakeEndpoint())
+        ep.close()
+        with pytest.raises(sanitizer.ProtocolError, match="twice"):
+            ep.close()
+
+    def test_handle_completed_twice_raises(self):
+        ep = sanitizer.wrap_protocol(_FakeEndpoint())
+        handle = ep.post_exchange({}, [], "t")
+        # The produced handle is itself proxied (the `.post_exchange`
+        # constructor pattern), and unwrapped before forwarding.
+        assert type(handle) is sanitizer.TypestateProxy
+        assert ep.complete_exchange(handle) == "completed"
+        with pytest.raises(sanitizer.ProtocolError, match="twice"):
+            ep.complete_exchange(handle)
+
+    def test_sequential_launches_legal(self):
+        t = sanitizer.wrap_protocol(_FakeTransport())
+        assert t.launch() == "done"
+        assert t.launch() == "done"
+
+    def test_reentrant_launch_raises(self):
+        t = sanitizer.wrap_protocol(_FakeTransport())
+        with pytest.raises(sanitizer.ProtocolError, match="double-launch"):
+            t.launch(lambda: t.launch())
+
+    def test_failed_call_still_completes_event(self):
+        class _BoomTransport:
+            def launch(self):
+                raise ValueError("boom")
+
+        t = sanitizer.wrap_protocol(_BoomTransport())
+        with pytest.raises(ValueError):
+            t.launch()
+        # launch_done fired in the finally: the transport is reusable.
+        with pytest.raises(ValueError):
+            t.launch()
+
+    def test_attribute_passthrough(self):
+        raw = _FakeEndpoint()
+        ep = sanitizer.wrap_protocol(raw)
+        ep.send(0, b"")
+        assert ep.sent == raw.sent
+        ep.extra = 7  # settattr forwards to the wrapped object
+        assert raw.extra == 7
