@@ -14,9 +14,17 @@ Submodules:
   and exception-safety passes (close/unlink/release on every path).
 * :mod:`repro.analysis.typestate` — protocol state tables (data) and
   the flow-sensitive typestate pass over them.
+* :mod:`repro.analysis.summaries` — call graph + interprocedural
+  per-function communication-effect summaries (the abstract
+  interpreter the comm passes run on).
+* :mod:`repro.analysis.commgraph` — composes summaries into symbolic
+  per-rank sequences and simulates them at world sizes 2–4.
+* :mod:`repro.analysis.commcheck` — the ``comm-matching`` /
+  ``comm-deadlock`` / ``comm-exchange`` passes over that analysis.
 * :mod:`repro.analysis.sanitizer` — opt-in runtime checkers: lock
-  order (``REPRO_SANITIZE=locks``) and protocol typestate proxies
-  (``REPRO_SANITIZE=protocol``).
+  order (``REPRO_SANITIZE=locks``), protocol typestate proxies
+  (``REPRO_SANITIZE=protocol``) and the schedule-exploration
+  deadlock detector (``REPRO_SANITIZE=schedule``).
 * :mod:`repro.analysis.lint` — the ``repro lint`` CLI.
 """
 
@@ -44,42 +52,63 @@ from .engine import (
     run_passes,
     save_baseline,
 )
+from .commcheck import analyze_modules, discover_entries
+from .commgraph import CommFinding, EntrySpec, analyze_entry
 from .lint import run_lint
 from .sanitizer import (
+    DeadlockError,
     LockOrderError,
     ProtocolError,
     SanitizedLock,
+    ScheduleError,
+    ScheduleExplorer,
     TypestateProxy,
     install_protocol_sanitizer,
+    install_schedule_sanitizer,
     locks_enabled,
     make_lock,
     protocol_enabled,
+    schedule_enabled,
     wrap_protocol,
 )
+from .summaries import CommEvent, CommInterpreter, ProgramIndex, direct_comm_ops
 from .typestate import PROTOCOLS, Protocol, protocol_for_class
 
 __all__ = [
     "CFG",
     "CFGError",
     "CFGNode",
+    "CommEvent",
+    "CommFinding",
+    "CommInterpreter",
+    "DeadlockError",
     "Diagnostic",
+    "EntrySpec",
     "FlowPass",
     "LintPass",
     "LockOrderError",
     "PROTOCOLS",
+    "ProgramIndex",
     "Protocol",
     "ProtocolError",
     "SanitizedLock",
+    "ScheduleError",
+    "ScheduleExplorer",
     "SolverDivergence",
     "SourceModule",
     "TypestateProxy",
+    "analyze_entry",
+    "analyze_modules",
     "baseline_keys",
     "build_cfg",
     "collect_modules",
     "diff_against_baseline",
+    "direct_comm_ops",
+    "discover_entries",
     "function_cfgs",
     "get_passes",
     "install_protocol_sanitizer",
+    "install_schedule_sanitizer",
     "load_baseline",
     "locks_enabled",
     "make_lock",
@@ -90,6 +119,7 @@ __all__ = [
     "run_lint",
     "run_passes",
     "save_baseline",
+    "schedule_enabled",
     "solve_forward",
     "wrap_protocol",
 ]

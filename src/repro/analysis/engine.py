@@ -39,8 +39,10 @@ Three mechanisms keep the engine honest on a real tree:
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -70,6 +72,13 @@ _LAYER_RE = re.compile(r"layer=(?P<layer>[\w\-]+)")
 
 #: Sentinel meaning "every rule" in a suppression entry.
 ALL_RULES = "*"
+
+#: Parse/CFG caches, keyed by (repo-relative path, content hash): one
+#: lint invocation runs many pass families over the same files, and
+#: the pytest self-checks lint the tree repeatedly — identical content
+#: is parsed and CFG-built exactly once per process.
+_MODULE_CACHE: Dict[Tuple[str, str], "SourceModule"] = {}
+_CFG_CACHE: Dict[Tuple[str, str], list] = {}
 
 
 # ----------------------------------------------------------------------
@@ -114,6 +123,10 @@ class SourceModule:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
+        #: Content identity: parse and CFG caches key on this, so an
+        #: edited file is re-analyzed and an untouched one never is.
+        self.content_hash = hashlib.sha256(text.encode()).hexdigest()
+        self._cfgs = None
         self.layers: Set[str] = set()
         #: line number -> set of waived rule ids (or {ALL_RULES}).
         self.suppressions: Dict[int, Set[str]] = {}
@@ -148,11 +161,30 @@ class SourceModule:
                 return nxt
         return lineno
 
+    def function_cfgs(self):
+        """The module's per-function CFGs, built once per content hash
+        (flow passes used to rebuild them per pass family)."""
+        if self._cfgs is None:
+            cached = _CFG_CACHE.get((self.path, self.content_hash))
+            if cached is None:
+                from .dataflow import function_cfgs
+
+                cached = list(function_cfgs(self.tree))
+                _CFG_CACHE[(self.path, self.content_hash)] = cached
+            self._cfgs = cached
+        return self._cfgs
+
     # ------------------------------------------------------------------
     @classmethod
     def from_file(cls, file_path: Path, root: Path) -> "SourceModule":
         rel = file_path.resolve().relative_to(root.resolve()).as_posix()
-        return cls(rel, file_path.read_text())
+        text = file_path.read_text()
+        key = (rel, hashlib.sha256(text.encode()).hexdigest())
+        cached = _MODULE_CACHE.get(key)
+        if cached is None:
+            cached = cls(rel, text)
+            _MODULE_CACHE[key] = cached
+        return cached
 
     @classmethod
     def from_source(cls, text: str, path: str = "<snippet>") -> "SourceModule":
@@ -235,10 +267,8 @@ class FlowPass(LintPass):
     """
 
     def run(self, module: SourceModule) -> List[Diagnostic]:
-        from .dataflow import function_cfgs
-
         findings: List[Diagnostic] = []
-        for cfg in function_cfgs(module.tree):
+        for cfg in module.function_cfgs():
             findings.extend(self.run_cfg(module, cfg))
         return findings
 
@@ -280,7 +310,13 @@ def get_passes(names: Optional[Iterable[str]] = None) -> List[LintPass]:
 def _ensure_builtin_passes() -> None:
     """Import the built-in pass modules (they self-register on import,
     like the kernel backends do)."""
-    from . import concurrency, lifecycle, passes, typestate  # noqa: F401
+    from . import (  # noqa: F401
+        commcheck,
+        concurrency,
+        lifecycle,
+        passes,
+        typestate,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -304,9 +340,12 @@ def collect_modules(
 def run_passes(
     modules: Iterable[SourceModule],
     passes: Optional[Sequence[LintPass]] = None,
+    timings: Optional[List[Tuple[str, float]]] = None,
 ) -> List[Diagnostic]:
     """Run ``passes`` over ``modules``; suppressed findings are dropped
-    centrally so every pass gets the waiver semantics for free."""
+    centrally so every pass gets the waiver semantics for free.  When
+    ``timings`` is a list, per-pass wall seconds are appended to it
+    (the ``--profile`` plumbing)."""
     if passes is None:
         passes = get_passes()
     modules = list(modules)
@@ -320,6 +359,7 @@ def run_passes(
         )
 
     for lint_pass in passes:
+        started = time.perf_counter()
         if lint_pass.project_wide:
             findings.extend(
                 d for d in lint_pass.run_project(modules) if keep(d)
@@ -329,6 +369,10 @@ def run_passes(
                 findings.extend(
                     d for d in lint_pass.run(module) if keep(d)
                 )
+        if timings is not None:
+            timings.append(
+                (lint_pass.rule, time.perf_counter() - started)
+            )
     findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return findings
 

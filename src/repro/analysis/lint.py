@@ -68,10 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
         help="report format (default: text); `github` emits Actions "
-        "::error annotations that render inline on PRs",
+        "::error annotations that render inline on PRs, `sarif` emits "
+        "a SARIF 2.1.0 log for code-scanning upload",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-pass wall time to stderr (machine formats on "
+        "stdout stay parseable)",
     )
     parser.add_argument(
         "--paths",
@@ -150,6 +157,56 @@ def _github_annotation(diagnostic: Diagnostic) -> str:
     )
 
 
+def _sarif_payload(diff, passes) -> dict:
+    """A SARIF 2.1.0 log: rule metadata straight from the pass
+    registry, one result per *new* finding (baselined findings are
+    suppressed upstream, matching every other format)."""
+    rules = [
+        {
+            "id": p.rule,
+            "name": p.rule.replace("-", " ").title().replace(" ", ""),
+            "shortDescription": {"text": p.title or p.rule},
+            "fullDescription": {"text": p.description or p.title or p.rule},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for p in passes
+    ]
+    rule_index = {p.rule: i for i, p in enumerate(passes)}
+    results = []
+    for d in diff.new:
+        message = d.message + (f"\nhint: {d.hint}" if d.hint else "")
+        results.append({
+            "ruleId": d.rule,
+            "ruleIndex": rule_index.get(d.rule, -1),
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": d.path},
+                    "region": {
+                        "startLine": d.line,
+                        "startColumn": d.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -174,10 +231,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         modules = _collect(root, targets)
-        findings = run_passes(modules, get_passes(select))
+        timings: List = []
+        findings = run_passes(modules, get_passes(select),
+                              timings=timings if args.profile else None)
     except (SyntaxError, KeyError, OSError) as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
+    if args.profile:
+        total = sum(seconds for _, seconds in timings)
+        for rule, seconds in sorted(timings, key=lambda t: -t[1]):
+            print(f"profile: {rule:<18} {seconds * 1000.0:9.2f} ms",
+                  file=sys.stderr)
+        print(f"profile: {'total':<18} {total * 1000.0:9.2f} ms",
+              file=sys.stderr)
 
     baseline_path = (
         Path(args.baseline) if args.baseline
@@ -195,7 +261,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     baseline = set() if args.no_baseline else load_baseline(baseline_path)
     diff = diff_against_baseline(findings, baseline)
 
-    if args.format == "github":
+    if args.format == "sarif":
+        print(json.dumps(_sarif_payload(diff, get_passes(select)),
+                         indent=2))
+    elif args.format == "github":
         for diagnostic in diff.new:
             print(_github_annotation(diagnostic))
         summary = (

@@ -1,0 +1,1508 @@
+"""Interprocedural communication-effect summaries.
+
+The intraprocedural passes (PR 8/9) see one function at a time; the
+bugs that kill a distributed run — mismatched tags, rank-asymmetric
+collectives, circular blocking sends, an :class:`ExchangeHandle`
+posted in one helper and dropped in another — are cross-function and
+cross-rank.  This module supplies the interprocedural half:
+
+* :class:`ProgramIndex` — a call graph over the linted tree with a
+  *may-communicate* fixpoint: a function may-comm when its body calls
+  a transport primitive (``send``/``recv``/``exchange``/…) or any
+  resolvable callee that does.  Cycles (mutual recursion) converge
+  because the fixpoint is monotone over a finite lattice.
+* :func:`direct_comm_ops` — the *summary* of one function: its
+  syntactic, in-order communication events with the peer and tag
+  expressions kept symbolic (``(rank + 1) % m``, ``f"chunk{i}"`` →
+  prefix ``chunk``), exactly as written.
+* :class:`CommInterpreter` — composes summaries through calls: an
+  abstract interpreter that runs an entry point for one concrete
+  ``(rank, world)`` pair, inlining may-comm callees (with recursion
+  widening and an operation budget so it terminates on any input),
+  treating everything else as opaque.  The output is the ordered
+  per-rank event sequence :mod:`repro.analysis.commgraph` matches
+  across ranks.
+
+Data-dependent control flow is handled by *shared decisions*: an
+``if`` whose test is unknown but whose branches communicate forks the
+analysis, and the chosen branch is keyed by the unknown value's
+origin site — so every rank (and every use of the same value) takes
+the same branch within one scenario, and the driver enumerates the
+scenarios.  Unknown-trip loops run their body once (a representative
+iteration); comprehensions over unknown iterables produce an
+:class:`ApproxList` whose single sample stands for every element.
+These are deliberate precision limits, documented in the README; the
+``REPRO_SANITIZE=schedule`` runtime explorer covers the interleavings
+the static side abstracts away.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .engine import SourceModule
+
+__all__ = [
+    "ApproxList",
+    "BudgetExceeded",
+    "CommEvent",
+    "CommInterpreter",
+    "DirectOp",
+    "EndpointVal",
+    "FuncInfo",
+    "HandleVal",
+    "ObjVal",
+    "ProgramIndex",
+    "Sym",
+    "TagPrefix",
+    "TicketVal",
+    "TransportVal",
+    "Unknown",
+    "direct_comm_ops",
+    "tags_may_match",
+]
+
+#: Endpoint/transport method names with built-in communication
+#: semantics (the primitive table the interpreter never inlines).
+COMM_PRIMITIVES = {
+    "send", "isend", "recv", "exchange", "post_exchange",
+    "complete_exchange", "allreduce", "broadcast",
+    "_isend_raw", "_send_raw",
+}
+
+_LOOP_UNROLL_CAP = 64
+_CALL_DEPTH_CAP = 24
+_DEFAULT_OP_BUDGET = 200_000
+
+
+# ----------------------------------------------------------------------
+# Value domain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Unknown:
+    """A value the analysis cannot resolve.
+
+    ``origin`` is the stable site string of the expression that first
+    produced it; derived unknowns inherit the origin of their primary
+    operand, so decisions keyed by origin stay consistent across every
+    use of (and every rank's copy of) the same unknown.
+    """
+
+    origin: str = "?"
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A named symbolic scalar (an entry-point parameter like ``tag``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TagPrefix:
+    """An f-string tag whose leading literal part is known."""
+
+    prefix: str
+
+
+class ApproxList:
+    """A sequence built by iterating something unknown: one sample
+    element stands for all of them (subscripting with any index yields
+    the sample; iterating visits each sample once)."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: List[object]) -> None:
+        self.samples = samples
+
+
+class ObjVal:
+    """An instance of a project class, attributes tracked by name.
+
+    Reference semantics: assignment aliases, attribute stores are
+    visible through every alias — what ``self``-threading needs.
+    """
+
+    def __init__(self, class_name: str, attrs: Optional[dict] = None) -> None:
+        self.class_name = class_name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjVal({self.class_name})"
+
+
+class EndpointVal(ObjVal):
+    """One rank's transport endpoint: the comm-primitive receiver."""
+
+
+class TransportVal(ObjVal):
+    """The simulated metering transport (trainer plane): its
+    ``send``/``broadcast``/``allreduce`` are ledger entries, not
+    messages, and trivially match."""
+
+
+class TicketVal:
+    """Result of a non-blocking send: joins link back to the event."""
+
+    __slots__ = ("event_index",)
+
+    def __init__(self, event_index: int) -> None:
+        self.event_index = event_index
+
+
+class HandleVal:
+    """An in-flight exchange handle (posted sends + deferred recvs)."""
+
+    __slots__ = ("handle_id", "tag", "expect", "site", "completed")
+
+    def __init__(self, handle_id: int, tag: object, expect: object,
+                 site: Tuple[str, int, int]) -> None:
+        self.handle_id = handle_id
+        self.tag = tag
+        self.expect = expect
+        self.site = site
+        self.completed = False
+
+
+def tags_may_match(a: object, b: object) -> bool:
+    """Whether two tag values can name the same message.
+
+    Concrete strings compare exactly; an f-string prefix matches any
+    string it prefixes (and any other prefix sharing a prefix);
+    symbols match themselves; anything unknown matches everything —
+    mismatch findings only fire on *definite* disagreement.
+    """
+    if isinstance(a, Unknown) or isinstance(b, Unknown):
+        return True
+    if isinstance(a, Sym) or isinstance(b, Sym):
+        return a == b or not (isinstance(a, Sym) and isinstance(b, Sym))
+    if isinstance(a, TagPrefix) and isinstance(b, TagPrefix):
+        return a.prefix.startswith(b.prefix) or b.prefix.startswith(a.prefix)
+    if isinstance(a, TagPrefix):
+        return isinstance(b, str) and b.startswith(a.prefix)
+    if isinstance(b, TagPrefix):
+        return isinstance(a, str) and a.startswith(b.prefix)
+    return a == b
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+@dataclass
+class CommEvent:
+    """One step of a rank's communication sequence.
+
+    ``peer`` is a concrete rank when the analysis resolved it and
+    :class:`Unknown` otherwise (``definite`` mirrors that); the
+    unparsed ``peer_expr``/``tag_expr`` keep the symbolic form for
+    reports.  ``kind`` is one of ``send`` (blocking under the
+    rendezvous model), ``isend``, ``recv``, ``coll``, ``post``,
+    ``complete``, ``join``, ``meter``.
+    """
+
+    kind: str
+    peer: object = None
+    tag: object = None
+    blocking: bool = False
+    site: Tuple[str, int, int] = ("?", 0, 0)
+    frame: str = "?"
+    peer_expr: str = ""
+    tag_expr: str = ""
+    alg: Optional[str] = None
+    handle_id: Optional[int] = None
+    link: Optional[int] = None  # join -> index of the linked isend
+
+    @property
+    def definite(self) -> bool:
+        return not isinstance(self.peer, Unknown)
+
+
+@dataclass(frozen=True)
+class DirectOp:
+    """One syntactic comm call inside a single function body — the
+    per-function summary entry, peers and tags as written."""
+
+    op: str
+    peer_expr: str
+    tag_expr: str
+    site: Tuple[str, int, int]
+
+
+# ----------------------------------------------------------------------
+# Program index + may-comm fixpoint
+# ----------------------------------------------------------------------
+@dataclass
+class FuncInfo:
+    """One function in the analyzed tree."""
+
+    name: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    module: SourceModule
+    class_name: Optional[str] = None
+    is_generator: bool = False
+    direct_ops: List[DirectOp] = field(default_factory=list)
+    callees: Set[str] = field(default_factory=set)  # qualnames
+    may_comm: bool = False
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    node: ast.ClassDef
+    module: SourceModule
+    methods: Dict[str, FuncInfo] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)
+
+
+def _site(module: SourceModule, node: ast.AST) -> Tuple[str, int, int]:
+    return (module.path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0))
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def direct_comm_ops(module: SourceModule, func: ast.AST) -> List[DirectOp]:
+    """The uninterpreted summary of one function: its comm calls in
+    source order, peer/tag expressions unparsed verbatim."""
+    ops: List[DirectOp] = []
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in COMM_PRIMITIVES):
+            continue
+        name = node.func.attr
+        peer_expr = ""
+        tag_expr = ""
+        args = node.args
+        if name in ("send", "isend", "_isend_raw", "_send_raw"):
+            if args:
+                peer_expr = ast.unparse(args[0])
+            if len(args) > 2:
+                tag_expr = ast.unparse(args[2])
+        elif name == "recv":
+            if args:
+                peer_expr = ast.unparse(args[0])
+            if len(args) > 1:
+                tag_expr = ast.unparse(args[1])
+        elif name in ("exchange", "post_exchange"):
+            if len(args) > 2:
+                tag_expr = ast.unparse(args[2])
+        elif name in ("allreduce", "broadcast"):
+            if len(args) > 1:
+                tag_expr = ast.unparse(args[1])
+        for kw in node.keywords:
+            if kw.arg == "tag":
+                tag_expr = ast.unparse(kw.value)
+        ops.append(DirectOp(op=name, peer_expr=peer_expr, tag_expr=tag_expr,
+                            site=_site(module, node)))
+    ops.sort(key=lambda o: (o.site[1], o.site[2]))
+    return ops
+
+
+class ProgramIndex:
+    """Functions, classes and the may-communicate fixpoint over the
+    call graph of a set of :class:`SourceModule` s."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+        self.functions: Dict[str, FuncInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: per-module name -> qualname maps for resolution
+        self._module_scope: Dict[str, Dict[str, str]] = {}
+        self._global_names: Dict[str, List[str]] = {}
+        for module in self.modules:
+            self._index_module(module)
+        self._resolve_callees()
+        self._fixpoint_may_comm()
+
+    # -- construction --------------------------------------------------
+    def _index_module(self, module: SourceModule) -> None:
+        scope = self._module_scope.setdefault(module.path, {})
+
+        def add_func(node, class_name=None):
+            qual = f"{module.path}::" + (
+                f"{class_name}.{node.name}" if class_name else node.name
+            )
+            info = FuncInfo(
+                name=node.name, qualname=qual, node=node, module=module,
+                class_name=class_name,
+                is_generator=_contains_yield(node),
+                direct_ops=direct_comm_ops(module, node),
+            )
+            self.functions[qual] = info
+            if class_name is None:
+                scope[node.name] = qual
+                self._global_names.setdefault(node.name, []).append(qual)
+            return info
+
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_func(node)
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(
+                    name=node.name, node=node, module=module,
+                    bases=[b.id for b in node.bases
+                           if isinstance(b, ast.Name)],
+                )
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        cls.methods[item.name] = add_func(item, node.name)
+                self.classes.setdefault(node.name, cls)
+                scope[node.name] = f"class::{node.name}"
+                self._global_names.setdefault(node.name, []).append(
+                    f"class::{node.name}"
+                )
+
+    def _resolve_callees(self) -> None:
+        methods_by_name: Dict[str, List[str]] = {}
+        for qual, finfo in self.functions.items():
+            if finfo.class_name is not None:
+                methods_by_name.setdefault(finfo.name, []).append(qual)
+        for info in self.functions.values():
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Name):
+                    # A bare function reference may flow into an
+                    # indirect call (`fn = helper; fn()`): a may-edge
+                    # keeps the comm fixpoint sound for callbacks.
+                    target = self.resolve_name(info.module, node.id)
+                    if target is None:
+                        continue
+                    if target in self.functions:
+                        info.callees.add(target)
+                    elif target.startswith("class::"):
+                        # Instantiation: the object's methods become
+                        # reachable (``loop = _RankLoop(...)``).
+                        cls = self.classes.get(target[len("class::"):])
+                        if cls is not None:
+                            for method in cls.methods.values():
+                                info.callees.add(method.qualname)
+                    continue
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                        and info.class_name):
+                    # self.method resolves precisely through the MRO.
+                    method = self.lookup_method(info.class_name, node.attr)
+                    if method is not None:
+                        info.callees.add(method.qualname)
+                    continue
+                # Unknown receiver: may-edges to every same-named
+                # method (``loop.synchronous_epoch`` / ``epoch_fn()``).
+                for qual in methods_by_name.get(node.attr, ()):
+                    info.callees.add(qual)
+
+    def _fixpoint_may_comm(self) -> None:
+        for info in self.functions.values():
+            info.may_comm = bool(info.direct_ops)
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions.values():
+                if info.may_comm:
+                    continue
+                if any(
+                    callee in self.functions
+                    and self.functions[callee].may_comm
+                    for callee in info.callees
+                ):
+                    info.may_comm = True
+                    changed = True
+
+    # -- queries -------------------------------------------------------
+    def resolve_name(self, module: SourceModule, name: str) -> Optional[str]:
+        """A name to a function/class qualname: same module first, then
+        a globally unique match (imports are not modeled)."""
+        scope = self._module_scope.get(module.path, {})
+        if name in scope:
+            return scope[name]
+        candidates = self._global_names.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def lookup_method(self, class_name: str, method: str,
+                      _seen: Optional[Set[str]] = None) -> Optional[FuncInfo]:
+        """Method resolution by class name, walking base names."""
+        _seen = _seen or set()
+        if class_name in _seen:
+            return None
+        _seen.add(class_name)
+        cls = self.classes.get(class_name)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            found = self.lookup_method(base, method, _seen)
+            if found is not None:
+                return found
+        return None
+
+    def lookup_function(self, qualname: str) -> Optional[FuncInfo]:
+        return self.functions.get(qualname)
+
+    def find_function(self, name: str,
+                      module_suffix: str = "") -> Optional[FuncInfo]:
+        """A top-level function by bare name, optionally restricted to
+        modules whose path ends with ``module_suffix``."""
+        for qual, info in self.functions.items():
+            if info.name != name or info.class_name is not None:
+                continue
+            if module_suffix and not info.module.path.endswith(module_suffix):
+                continue
+            return info
+        return None
+
+    def branch_may_comm(self, module: SourceModule,
+                        nodes: Sequence[ast.stmt]) -> bool:
+        """Syntactic may-comm over a statement list: a primitive call,
+        or a resolvable call into a may-comm function."""
+        for stmt in nodes:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in COMM_PRIMITIVES):
+                    return True
+                if isinstance(node.func, ast.Name):
+                    qual = self.resolve_name(module, node.func.id)
+                    if (qual in self.functions
+                            and self.functions[qual].may_comm):
+                        return True
+                    if qual and qual.startswith("class::"):
+                        ctor = self.lookup_method(
+                            qual.split("::", 1)[1], "__init__"
+                        )
+                        if ctor is not None and ctor.may_comm:
+                            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Abstract interpreter
+# ----------------------------------------------------------------------
+class BudgetExceeded(Exception):
+    """The per-rank operation budget ran out: the sequence is partial
+    and the caller must not report findings from it."""
+
+
+class _ReturnSig(Exception):
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class _BreakSig(Exception):
+    pass
+
+
+class _ContinueSig(Exception):
+    pass
+
+
+class CommInterpreter:
+    """Run one entry point for one concrete ``(rank, world)`` pair.
+
+    ``decisions`` maps unknown-value origins to the branch taken at
+    comm-relevant unknown conditions; origins consulted but absent are
+    defaulted to ``True`` and recorded in :attr:`used_decisions` so a
+    driver can enumerate scenarios.  The produced :attr:`events` list
+    is this rank's ordered communication sequence; :attr:`open_handles`
+    holds exchange handles still posted when the entry returned.
+    """
+
+    def __init__(self, program: ProgramIndex, rank: int, world: int,
+                 decisions: Optional[Dict[str, bool]] = None,
+                 op_budget: int = _DEFAULT_OP_BUDGET) -> None:
+        self.program = program
+        self.rank = rank
+        self.world = world
+        self.decisions = dict(decisions or {})
+        self.used_decisions: Dict[str, bool] = {}
+        self.events: List[CommEvent] = []
+        self.open_handles: Dict[int, HandleVal] = {}
+        self._handle_seq = 0
+        self._ops_left = op_budget
+        self._stack: List[str] = []
+        self.double_completes: List[Tuple[HandleVal,
+                                          Tuple[str, int, int]]] = []
+
+    # -- public --------------------------------------------------------
+    def run(self, func: FuncInfo, args: Dict[str, object]) -> object:
+        """Interpret ``func`` with ``args`` bound by parameter name;
+        unbound parameters become :class:`Unknown`."""
+        return self._call_function(func, args)
+
+    # -- frames --------------------------------------------------------
+    def _call_function(self, info: FuncInfo,
+                       bound: Dict[str, object]) -> object:
+        if info.is_generator:
+            return Unknown(f"gen:{info.qualname}")
+        if info.qualname in self._stack or len(self._stack) >= _CALL_DEPTH_CAP:
+            # Recursion / depth widening: the callee's effects become
+            # opaque — termination beats completeness here.
+            return Unknown(f"widened:{info.qualname}")
+        self._stack.append(info.qualname)
+        env: Dict[str, object] = {}
+        fn = info.node
+        params = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+        for name in params:
+            env[name] = bound.get(name, Unknown(f"param:{name}"))
+        for a in fn.args.kwonlyargs:
+            env[a.arg] = bound.get(a.arg, Unknown(f"param:{a.arg}"))
+        if fn.args.vararg:
+            env[fn.args.vararg.arg] = Unknown("param:*args")
+        if fn.args.kwarg:
+            env[fn.args.kwarg.arg] = Unknown("param:**kwargs")
+        # Defaults for parameters the caller did not supply.
+        defaults = fn.args.defaults
+        if defaults:
+            for name, default in zip(params[-len(defaults):], defaults):
+                if name not in bound:
+                    env[name] = self._eval(default, env, info)
+        for a, d in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+            if d is not None and a.arg not in bound:
+                env[a.arg] = self._eval(d, env, info)
+        try:
+            self._exec_block(fn.body, env, info)
+            result: object = None
+        except _ReturnSig as sig:
+            result = sig.value
+        finally:
+            self._stack.pop()
+        return result
+
+    # -- statements ----------------------------------------------------
+    def _tick(self, node: ast.AST) -> None:
+        self._ops_left -= 1
+        if self._ops_left <= 0:
+            raise BudgetExceeded(
+                f"op budget exhausted at line {getattr(node, 'lineno', 0)}"
+            )
+
+    def _exec_block(self, stmts: Sequence[ast.stmt], env: dict,
+                    info: FuncInfo) -> None:
+        for stmt in stmts:
+            self._exec(stmt, env, info)
+
+    def _exec(self, stmt: ast.stmt, env: dict, info: FuncInfo) -> None:
+        self._tick(stmt)
+        name = type(stmt).__name__
+        method = getattr(self, f"_exec_{name}", None)
+        if method is not None:
+            method(stmt, env, info)
+            return
+        # Unmodeled statements (Global, Import, class defs inside
+        # functions, ...) are skipped.
+
+    def _exec_Expr(self, stmt, env, info):
+        self._eval(stmt.value, env, info)
+
+    def _exec_Return(self, stmt, env, info):
+        value = self._eval(stmt.value, env, info) if stmt.value else None
+        raise _ReturnSig(value)
+
+    def _exec_Pass(self, stmt, env, info):
+        return None
+
+    def _exec_Break(self, stmt, env, info):
+        raise _BreakSig()
+
+    def _exec_Continue(self, stmt, env, info):
+        raise _ContinueSig()
+
+    def _exec_Raise(self, stmt, env, info):
+        # A raise on the interpreted path ends the entry like a return
+        # (the happy-path model: exception edges are out of scope).
+        if stmt.exc is not None:
+            self._eval(stmt.exc, env, info)
+        raise _ReturnSig(Unknown("raise"))
+
+    def _exec_Assert(self, stmt, env, info):
+        self._eval(stmt.test, env, info)
+
+    def _exec_Delete(self, stmt, env, info):
+        return None
+
+    def _exec_Assign(self, stmt, env, info):
+        value = self._eval(stmt.value, env, info)
+        for target in stmt.targets:
+            self._assign(target, value, env, info)
+
+    def _exec_AnnAssign(self, stmt, env, info):
+        if stmt.value is not None:
+            self._assign(stmt.target,
+                         self._eval(stmt.value, env, info), env, info)
+
+    def _exec_AugAssign(self, stmt, env, info):
+        value = self._eval(stmt.value, env, info)
+        current = self._eval(stmt.target, env, info)
+        combined: object = Unknown(self._origin(stmt))
+        if _is_concrete(current) and _is_concrete(value):
+            combined = _apply_binop(stmt.op, current, value, combined)
+        self._assign(stmt.target, combined, env, info)
+
+    def _exec_If(self, stmt, env, info):
+        test = self._eval(stmt.test, env, info)
+        if not isinstance(test, Unknown):
+            branch = stmt.body if _truthy(test) else stmt.orelse
+            self._exec_block(branch, env, info)
+            return
+        body_comm = self.program.branch_may_comm(info.module, stmt.body)
+        else_comm = self.program.branch_may_comm(info.module, stmt.orelse)
+        if body_comm or else_comm:
+            key = test.origin
+            choice = self.decisions.get(key, True)
+            self.used_decisions[key] = choice
+            self._exec_block(stmt.body if choice else stmt.orelse, env, info)
+            return
+        # No communication either way: prefer the branch that falls
+        # through (a guard like `if bad: raise/return` is skipped), and
+        # havoc whatever either branch assigns.
+        body_escapes = _block_escapes(stmt.body)
+        else_escapes = _block_escapes(stmt.orelse)
+        if body_escapes and not else_escapes:
+            self._exec_block(stmt.orelse, env, info)
+        elif else_escapes and not body_escapes:
+            self._exec_block(stmt.body, env, info)
+        else:
+            self._havoc_targets(stmt.body + stmt.orelse, env, info)
+
+    def _exec_For(self, stmt, env, info):
+        iterable = self._eval(stmt.iter, env, info)
+        items = _iteration_items(iterable, self._origin(stmt))
+        broke = False
+        for item in items:
+            self._assign(stmt.target, item, env, info)
+            try:
+                self._exec_block(stmt.body, env, info)
+            except _BreakSig:
+                broke = True
+                break
+            except _ContinueSig:
+                continue
+        if not broke:
+            self._exec_block(stmt.orelse, env, info)
+
+    def _exec_While(self, stmt, env, info):
+        iterations = 0
+        while iterations < _LOOP_UNROLL_CAP:
+            iterations += 1
+            test = self._eval(stmt.test, env, info)
+            if isinstance(test, Unknown):
+                # One representative pass through an unknown-bound
+                # loop, then exit.
+                try:
+                    self._exec_block(stmt.body, env, info)
+                except (_BreakSig, _ContinueSig):
+                    pass
+                return
+            if not _truthy(test):
+                self._exec_block(stmt.orelse, env, info)
+                return
+            try:
+                self._exec_block(stmt.body, env, info)
+            except _BreakSig:
+                return
+            except _ContinueSig:
+                continue
+        # Cap reached: stop iterating (widened).
+
+    def _exec_With(self, stmt, env, info):
+        for item in stmt.items:
+            ctx = self._eval(item.context_expr, env, info)
+            if item.optional_vars is not None:
+                self._assign(item.optional_vars, ctx, env, info)
+        self._exec_block(stmt.body, env, info)
+
+    def _exec_Try(self, stmt, env, info):
+        # Happy path: body + else + finally; handlers are not entered.
+        try:
+            self._exec_block(stmt.body, env, info)
+            self._exec_block(stmt.orelse, env, info)
+        finally:
+            self._exec_block(stmt.finalbody, env, info)
+
+    _exec_TryStar = _exec_Try
+
+    def _exec_FunctionDef(self, stmt, env, info):
+        env[stmt.name] = Unknown(f"nested:{stmt.name}")
+
+    _exec_AsyncFunctionDef = _exec_FunctionDef
+
+    # -- assignment targets --------------------------------------------
+    def _assign(self, target: ast.expr, value: object, env: dict,
+                info: FuncInfo) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            if (isinstance(value, (tuple, list))
+                    and len(value) == len(elts)
+                    and not any(isinstance(e, ast.Starred) for e in elts)):
+                for elt, item in zip(elts, value):
+                    self._assign(elt, item, env, info)
+            else:
+                unk = Unknown(self._origin(target))
+                for elt in elts:
+                    inner = elt.value if isinstance(elt, ast.Starred) else elt
+                    self._assign(inner, unk, env, info)
+        elif isinstance(target, ast.Attribute):
+            obj = self._eval(target.value, env, info)
+            if isinstance(obj, ObjVal):
+                obj.attrs[target.attr] = value
+        elif isinstance(target, ast.Subscript):
+            container = self._eval(target.value, env, info)
+            key = self._eval(target.slice, env, info)
+            if isinstance(container, dict) and _is_concrete(key):
+                try:
+                    container[key] = value
+                except TypeError:
+                    pass
+            elif (isinstance(container, list) and isinstance(key, int)
+                  and -len(container) <= key < len(container)):
+                container[key] = value
+            # Unknown container/key: the store is invisible (the
+            # container keeps its prior approximation).
+
+    def _havoc_targets(self, stmts: Sequence[ast.stmt], env: dict,
+                       info: FuncInfo) -> None:
+        """Both branches of a skipped conditional: whatever they assign
+        becomes unknown (name, attribute or concrete-key entry)."""
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    self._assign(target, Unknown(self._origin(target)),
+                                 env, info)
+
+    # -- expressions ---------------------------------------------------
+    def _origin(self, node: ast.AST) -> str:
+        return (f"{self._stack[-1] if self._stack else '?'}"
+                f":{getattr(node, 'lineno', 0)}"
+                f":{getattr(node, 'col_offset', 0)}")
+
+    def _eval(self, node: Optional[ast.expr], env: dict,
+              info: FuncInfo) -> object:
+        if node is None:
+            return None
+        self._tick(node)
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            return Unknown(self._origin(node))
+        return method(node, env, info)
+
+    def _eval_Constant(self, node, env, info):
+        return node.value
+
+    def _eval_Name(self, node, env, info):
+        if node.id in env:
+            return env[node.id]
+        if node.id in ("True", "False", "None"):  # pragma: no cover
+            return {"True": True, "False": False, "None": None}[node.id]
+        qual = self.program.resolve_name(info.module, node.id)
+        if qual is not None:
+            return ("ref", qual)
+        return Unknown(f"name:{node.id}")
+
+    def _eval_Tuple(self, node, env, info):
+        return tuple(self._eval(e, env, info) for e in node.elts)
+
+    def _eval_List(self, node, env, info):
+        return [self._eval(e, env, info) for e in node.elts]
+
+    def _eval_Set(self, node, env, info):
+        out = set()
+        for e in node.elts:
+            v = self._eval(e, env, info)
+            try:
+                out.add(v)
+            except TypeError:
+                return Unknown(self._origin(node))
+        return out
+
+    def _eval_Dict(self, node, env, info):
+        out: dict = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:  # **spread
+                self._eval(v, env, info)
+                return Unknown(self._origin(node))
+            key = self._eval(k, env, info)
+            value = self._eval(v, env, info)
+            if not _is_concrete(key):
+                return Unknown(self._origin(node))
+            out[key] = value
+        return out
+
+    def _eval_JoinedStr(self, node, env, info):
+        parts: List[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+                continue
+            value = self._eval(
+                piece.value if isinstance(piece, ast.FormattedValue)
+                else piece, env, info,
+            )
+            if _is_concrete(value) and not isinstance(value, (list, dict)):
+                parts.append(str(value))
+            else:
+                prefix = "".join(parts)
+                return TagPrefix(prefix) if prefix else Unknown(
+                    self._origin(node)
+                )
+        return "".join(parts)
+
+    def _eval_BinOp(self, node, env, info):
+        left = self._eval(node.left, env, info)
+        right = self._eval(node.right, env, info)
+        fallback = left if isinstance(left, Unknown) else (
+            right if isinstance(right, Unknown)
+            else Unknown(self._origin(node))
+        )
+        if _is_concrete(left) and _is_concrete(right):
+            return _apply_binop(node.op, left, right,
+                                Unknown(self._origin(node)))
+        if isinstance(fallback, Unknown):
+            return fallback
+        return Unknown(self._origin(node))
+
+    def _eval_UnaryOp(self, node, env, info):
+        value = self._eval(node.operand, env, info)
+        if _is_concrete(value):
+            try:
+                if isinstance(node.op, ast.Not):
+                    return not value
+                if isinstance(node.op, ast.USub):
+                    return -value
+                if isinstance(node.op, ast.UAdd):
+                    return +value
+                if isinstance(node.op, ast.Invert):
+                    return ~value
+            except TypeError:
+                pass
+        return value if isinstance(value, Unknown) else Unknown(
+            self._origin(node)
+        )
+
+    def _eval_BoolOp(self, node, env, info):
+        is_or = isinstance(node.op, ast.Or)
+        pending: Optional[Unknown] = None
+        for sub in node.values:
+            value = self._eval(sub, env, info)
+            if isinstance(value, Unknown):
+                pending = pending or value
+                continue
+            if is_or and _truthy(value):
+                return value
+            if not is_or and not _truthy(value):
+                return value
+        if pending is not None:
+            return pending
+        return not is_or
+
+    def _eval_Compare(self, node, env, info):
+        left = self._eval(node.left, env, info)
+        result: object = True
+        for op, comp in zip(node.ops, node.comparators):
+            right = self._eval(comp, env, info)
+            if not (_is_concrete(left) and _is_concrete(right)):
+                unk = left if isinstance(left, Unknown) else (
+                    right if isinstance(right, Unknown)
+                    else Unknown(self._origin(node))
+                )
+                return unk if isinstance(unk, Unknown) else Unknown(
+                    self._origin(node)
+                )
+            step = _apply_compare(op, left, right)
+            if isinstance(step, Unknown):
+                return Unknown(self._origin(node))
+            if not step:
+                return False
+            left = right
+        return result
+
+    def _eval_IfExp(self, node, env, info):
+        test = self._eval(node.test, env, info)
+        if not isinstance(test, Unknown):
+            return self._eval(
+                node.body if _truthy(test) else node.orelse, env, info
+            )
+        self._eval(node.body, env, info)
+        self._eval(node.orelse, env, info)
+        return Unknown(test.origin)
+
+    def _eval_Attribute(self, node, env, info):
+        obj = self._eval(node.value, env, info)
+        return self._attribute_of(obj, node, info)
+
+    def _attribute_of(self, obj, node, info):
+        if isinstance(obj, ObjVal):
+            if node.attr in obj.attrs:
+                return obj.attrs[node.attr]
+            method = self.program.lookup_method(obj.class_name, node.attr)
+            if method is not None:
+                return ("bound", method.qualname, obj)
+            return Unknown(f"attr:{obj.class_name}.{node.attr}")
+        if isinstance(obj, tuple) and len(obj) == 3 and obj[0] == "bound":
+            return Unknown(self._origin(node))
+        if isinstance(obj, Unknown):
+            return Unknown(obj.origin)
+        return Unknown(self._origin(node))
+
+    def _eval_Subscript(self, node, env, info):
+        container = self._eval(node.value, env, info)
+        key = self._eval(node.slice, env, info)
+        if isinstance(container, ApproxList):
+            if len(container.samples) == 1:
+                return container.samples[0]
+            return Unknown(self._origin(node))
+        if _is_concrete(key) and isinstance(container, (list, tuple, dict,
+                                                        str)):
+            try:
+                return container[key]
+            except (KeyError, IndexError, TypeError):
+                return Unknown(self._origin(node))
+        if isinstance(container, Unknown):
+            return Unknown(container.origin)
+        return Unknown(self._origin(node))
+
+    def _eval_Slice(self, node, env, info):
+        lower = self._eval(node.lower, env, info)
+        upper = self._eval(node.upper, env, info)
+        step = self._eval(node.step, env, info)
+        if all(v is None or isinstance(v, int)
+               for v in (lower, upper, step)):
+            return slice(lower, upper, step)
+        return Unknown(self._origin(node))
+
+    def _eval_Starred(self, node, env, info):
+        return self._eval(node.value, env, info)
+
+    def _eval_Lambda(self, node, env, info):
+        return Unknown(self._origin(node))
+
+    def _eval_Await(self, node, env, info):
+        return self._eval(node.value, env, info)
+
+    def _eval_NamedExpr(self, node, env, info):
+        value = self._eval(node.value, env, info)
+        self._assign(node.target, value, env, info)
+        return value
+
+    # comprehensions ---------------------------------------------------
+    def _comp_items(self, node, env, info) -> Tuple[List[dict], bool]:
+        """Environments for each comprehension iteration; the bool
+        marks approximation (an unknown iterable somewhere)."""
+        envs: List[dict] = [dict(env)]
+        approx = False
+        for gen in node.generators:
+            next_envs: List[dict] = []
+            for scope in envs:
+                iterable = self._eval(gen.iter, scope, info)
+                items = _iteration_items(iterable, self._origin(node))
+                if not isinstance(iterable, (list, tuple, dict, range, set,
+                                             ApproxList)):
+                    approx = True
+                if isinstance(iterable, ApproxList):
+                    approx = True
+                for item in items[:_LOOP_UNROLL_CAP]:
+                    child = dict(scope)
+                    self._assign(gen.target, item, child, info)
+                    keep = True
+                    for cond in gen.ifs:
+                        test = self._eval(cond, child, info)
+                        if isinstance(test, Unknown):
+                            approx = True
+                        elif not _truthy(test):
+                            keep = False
+                            break
+                    if keep:
+                        next_envs.append(child)
+            envs = next_envs
+        return envs, approx
+
+    def _eval_ListComp(self, node, env, info):
+        envs, approx = self._comp_items(node, env, info)
+        values = [self._eval(node.elt, scope, info) for scope in envs]
+        if approx:
+            return ApproxList(values or [Unknown(self._origin(node))])
+        return values
+
+    def _eval_SetComp(self, node, env, info):
+        envs, approx = self._comp_items(node, env, info)
+        values = [self._eval(node.elt, scope, info) for scope in envs]
+        if approx or not all(_is_concrete(v) for v in values):
+            return ApproxList(values or [Unknown(self._origin(node))])
+        return set(values)
+
+    def _eval_GeneratorExp(self, node, env, info):
+        return self._eval_ListComp(node, env, info)
+
+    def _eval_DictComp(self, node, env, info):
+        envs, approx = self._comp_items(node, env, info)
+        out: dict = {}
+        for scope in envs:
+            key = self._eval(node.key, scope, info)
+            value = self._eval(node.value, scope, info)
+            if not _is_concrete(key):
+                approx = True
+                continue
+            out[key] = value
+        if approx:
+            return Unknown(self._origin(node))
+        return out
+
+    # calls ------------------------------------------------------------
+    def _eval_Call(self, node, env, info):
+        # Evaluate an attribute callee's receiver exactly ONCE — a
+        # side-effecting receiver (``ep.complete_exchange(h).items()``)
+        # must not emit its events twice.
+        receiver: object = _NOT_PRIMITIVE
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value, env, info)
+            func = self._attribute_of(receiver, node.func, info)
+        else:
+            func = self._eval(node.func, env, info)
+        args = [self._eval(a, env, info) for a in node.args
+                if not isinstance(a, ast.Starred)]
+        has_star = any(isinstance(a, ast.Starred) for a in node.args)
+        for a in node.args:
+            if isinstance(a, ast.Starred):
+                self._eval(a.value, env, info)
+        kwargs: Dict[str, object] = {}
+        for kw in node.keywords:
+            value = self._eval(kw.value, env, info)
+            if kw.arg is not None:
+                kwargs[kw.arg] = value
+
+        # Endpoint / transport primitives.
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if isinstance(receiver, (EndpointVal, TransportVal)):
+                prim = self._primitive(receiver, attr, node, args, kwargs,
+                                       env, info)
+                if prim is not _NOT_PRIMITIVE:
+                    return prim
+            if isinstance(receiver, TicketVal) and attr == "join":
+                self._emit(node, info, kind="join", blocking=True,
+                           link=receiver.event_index)
+                return True
+            if isinstance(receiver, HandleVal):
+                return Unknown(self._origin(node))
+            if isinstance(receiver, (dict, list, tuple, set, str)):
+                return self._container_method(receiver, attr, args, node)
+            if (isinstance(receiver, tuple) and len(receiver) == 3
+                    and receiver[0] == "bound"):
+                pass  # fall through: calling an attribute of a bound ref
+
+        if (isinstance(func, tuple) and len(func) == 3
+                and func[0] == "bound"):
+            target = self.program.lookup_function(func[1])
+            if target is not None:
+                return self._maybe_inline(target, [func[2]] + args, kwargs,
+                                          has_star, node)
+        if isinstance(func, tuple) and len(func) == 2 and func[0] == "ref":
+            qual = func[1]
+            if qual.startswith("class::"):
+                return self._instantiate(qual.split("::", 1)[1], args,
+                                         kwargs, node)
+            target = self.program.lookup_function(qual)
+            if target is not None:
+                return self._maybe_inline(target, args, kwargs, has_star,
+                                          node)
+        if isinstance(node.func, ast.Name):
+            builtin = self._builtin(node.func.id, args, kwargs, node)
+            if builtin is not _NOT_PRIMITIVE:
+                return builtin
+        return Unknown(self._origin(node))
+
+    def _maybe_inline(self, target: FuncInfo, args: List[object],
+                      kwargs: Dict[str, object], has_star: bool,
+                      node: ast.Call) -> object:
+        if not target.may_comm:
+            return Unknown(self._origin(node))
+        if has_star:
+            return Unknown(self._origin(node))
+        fn = target.node
+        params = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+        bound: Dict[str, object] = {}
+        for name, value in zip(params, args):
+            bound[name] = value
+        for name, value in kwargs.items():
+            bound[name] = value
+        return self._call_function(target, bound)
+
+    def _instantiate(self, class_name: str, args: List[object],
+                     kwargs: Dict[str, object], node: ast.Call) -> object:
+        obj = ObjVal(class_name)
+        ctor = self.program.lookup_method(class_name, "__init__")
+        if ctor is not None:
+            fn = ctor.node
+            params = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+            bound: Dict[str, object] = {}
+            if params:
+                bound[params[0]] = obj
+            for name, value in zip(params[1:], args):
+                bound[name] = value
+            for name, value in kwargs.items():
+                bound[name] = value
+            self._call_function(ctor, bound)
+        return obj
+
+    # primitive semantics ----------------------------------------------
+    def _emit(self, node: ast.AST, info: FuncInfo, **fields) -> int:
+        site = _site(info.module, node)
+        event = CommEvent(site=site, frame=info.qualname, **fields)
+        self.events.append(event)
+        return len(self.events) - 1
+
+    def _primitive(self, receiver, attr, node, args, kwargs, env, info):
+        get = kwargs.get
+        if isinstance(receiver, TransportVal):
+            if attr in ("send", "broadcast", "allreduce"):
+                tag = args[-1] if args else get("tag", Unknown("tag"))
+                self._emit(node, info, kind="meter", tag=tag,
+                           tag_expr=_arg_expr(node, "tag", -1))
+                return Unknown(self._origin(node))
+            return _NOT_PRIMITIVE
+        if attr == "_join_send":
+            if args and isinstance(args[0], TicketVal):
+                self._emit(node, info, kind="join", blocking=True,
+                           link=args[0].event_index)
+            return None
+        if attr not in COMM_PRIMITIVES:
+            return _NOT_PRIMITIVE
+        if attr in ("send", "_send_raw"):
+            peer = args[0] if args else get("dst", Unknown("dst"))
+            tag = args[2] if len(args) > 2 else get("tag", Unknown("tag"))
+            self._emit(node, info, kind="send", peer=peer, tag=tag,
+                       blocking=True,
+                       peer_expr=_arg_expr(node, "dst", 0),
+                       tag_expr=_arg_expr(node, "tag", 2))
+            return Unknown(self._origin(node)) if attr == "send" else None
+        if attr in ("isend", "_isend_raw"):
+            peer = args[0] if args else get("dst", Unknown("dst"))
+            tag = args[2] if len(args) > 2 else get("tag", Unknown("tag"))
+            index = self._emit(node, info, kind="isend", peer=peer, tag=tag,
+                               peer_expr=_arg_expr(node, "dst", 0),
+                               tag_expr=_arg_expr(node, "tag", 2))
+            return TicketVal(index)
+        if attr == "recv":
+            peer = args[0] if args else get("src", Unknown("src"))
+            tag = args[1] if len(args) > 1 else get("tag", Unknown("tag"))
+            self._emit(node, info, kind="recv", peer=peer, tag=tag,
+                       blocking=True,
+                       peer_expr=_arg_expr(node, "src", 0),
+                       tag_expr=_arg_expr(node, "tag", 1))
+            return Unknown(self._origin(node))
+        if attr == "allreduce":
+            tag = args[1] if len(args) > 1 else get("tag", Unknown("tag"))
+            alg = kwargs.get("algorithm",
+                             args[2] if len(args) > 2 else "ring")
+            self._emit(node, info, kind="coll", tag=tag,
+                       alg=alg if isinstance(alg, str) else None,
+                       blocking=True, tag_expr=_arg_expr(node, "tag", 1))
+            return Unknown(self._origin(node))
+        if attr == "broadcast":
+            tag = args[-1] if args else get("tag", Unknown("tag"))
+            self._emit(node, info, kind="coll", tag=tag, alg="broadcast",
+                       blocking=True, tag_expr=_arg_expr(node, "tag", -1))
+            return Unknown(self._origin(node))
+        if attr in ("exchange", "post_exchange"):
+            outgoing = args[0] if args else get("outgoing",
+                                                Unknown("outgoing"))
+            expect = args[1] if len(args) > 1 else get("expect",
+                                                       Unknown("expect"))
+            tag = args[2] if len(args) > 2 else get("tag", Unknown("tag"))
+            tag_expr = _arg_expr(node, "tag", 2)
+            self._emit_exchange_sends(node, info, outgoing, tag, tag_expr)
+            handle = self._new_handle(node, info, tag, expect)
+            self._emit(node, info, kind="post", tag=tag,
+                       handle_id=handle.handle_id, tag_expr=tag_expr)
+            if attr == "post_exchange":
+                return handle
+            return self._complete_handle(node, info, handle)
+        if attr == "complete_exchange":
+            handle = args[0] if args else get("handle", Unknown("handle"))
+            if isinstance(handle, HandleVal):
+                return self._complete_handle(node, info, handle)
+            # Unknown handle: weakly complete everything still open so
+            # an imprecise index never fabricates a leak.
+            for open_handle in list(self.open_handles.values()):
+                self._complete_handle(node, info, open_handle)
+            return Unknown(self._origin(node))
+        return _NOT_PRIMITIVE
+
+    def _emit_exchange_sends(self, node, info, outgoing, tag,
+                             tag_expr) -> None:
+        if isinstance(outgoing, dict):
+            for dst in outgoing:
+                self._emit(node, info, kind="isend", peer=dst, tag=tag,
+                           tag_expr=tag_expr)
+        else:
+            self._emit(node, info, kind="isend",
+                       peer=Unknown(self._origin(node)), tag=tag,
+                       tag_expr=tag_expr)
+
+    def _new_handle(self, node, info, tag, expect) -> HandleVal:
+        self._handle_seq += 1
+        handle = HandleVal(self._handle_seq, tag, expect,
+                           _site(info.module, node))
+        self.open_handles[handle.handle_id] = handle
+        return handle
+
+    def _complete_handle(self, node, info, handle: HandleVal) -> object:
+        if handle.completed:
+            self.double_completes.append((handle, _site(info.module, node)))
+            return Unknown(self._origin(node))
+        handle.completed = True
+        self.open_handles.pop(handle.handle_id, None)
+        expect = handle.expect
+        received: object
+        if isinstance(expect, (list, tuple)) and all(
+            isinstance(p, int) for p in expect
+        ):
+            for src in expect:
+                self._emit(node, info, kind="recv", peer=src,
+                           tag=handle.tag, blocking=True)
+            received = {src: Unknown(self._origin(node)) for src in expect}
+        else:
+            self._emit(node, info, kind="recv",
+                       peer=Unknown(self._origin(node)), tag=handle.tag,
+                       blocking=True)
+            received = Unknown(self._origin(node))
+        self._emit(node, info, kind="complete", tag=handle.tag,
+                   handle_id=handle.handle_id)
+        return received
+
+    def _container_method(self, receiver, attr, args, node):
+        try:
+            if isinstance(receiver, dict):
+                if attr == "items":
+                    return list(receiver.items())
+                if attr == "keys":
+                    return list(receiver.keys())
+                if attr == "values":
+                    return list(receiver.values())
+                if attr == "get" and args:
+                    return receiver.get(args[0] if _is_concrete(args[0])
+                                        else None,
+                                        args[1] if len(args) > 1 else None)
+            if isinstance(receiver, list):
+                if attr == "append" and args:
+                    receiver.append(args[0])
+                    return None
+                if attr == "extend" and args:
+                    if isinstance(args[0], (list, tuple)):
+                        receiver.extend(args[0])
+                    return None
+                if attr == "copy":
+                    return list(receiver)
+            if isinstance(receiver, str):
+                if attr == "format":
+                    return TagPrefix(receiver.split("{", 1)[0]) \
+                        if "{" in receiver else receiver
+                if attr in ("upper", "lower", "strip"):
+                    return getattr(receiver, attr)()
+        except (TypeError, AttributeError):
+            pass
+        return Unknown(self._origin(node))
+
+    def _builtin(self, name, args, kwargs, node):
+        unknown = Unknown(self._origin(node))
+        try:
+            if name == "range":
+                if all(isinstance(a, int) for a in args) and args:
+                    return range(*args)
+                return unknown
+            if name == "len":
+                if isinstance(args[0], (list, tuple, dict, set, str, range)):
+                    return len(args[0])
+                return unknown
+            if name == "list":
+                if not args:
+                    return []
+                if isinstance(args[0], (list, tuple, range, set, dict)):
+                    return list(args[0])
+                if isinstance(args[0], ApproxList):
+                    return args[0]
+                return unknown
+            if name == "tuple":
+                if args and isinstance(args[0], (list, tuple, range)):
+                    return tuple(args[0])
+                return unknown
+            if name == "dict":
+                return dict(args[0]) if args and isinstance(args[0], dict) \
+                    else ({} if not args else unknown)
+            if name == "set":
+                return set(args[0]) if args and isinstance(
+                    args[0], (list, tuple, range)
+                ) else (set() if not args else unknown)
+            if name == "sorted":
+                if isinstance(args[0], (list, tuple, range)) and all(
+                    _is_concrete(v) for v in args[0]
+                ) and not kwargs:
+                    return sorted(args[0])
+                return unknown
+            if name == "enumerate":
+                if isinstance(args[0], (list, tuple, range)):
+                    return [(i, v) for i, v in enumerate(args[0])]
+                if isinstance(args[0], ApproxList):
+                    return ApproxList(
+                        [(unknown, s) for s in args[0].samples]
+                    )
+                return unknown
+            if name in ("all", "any"):
+                seq = args[0]
+                if isinstance(seq, ApproxList):
+                    seq = seq.samples
+                if isinstance(seq, (list, tuple)):
+                    if any(isinstance(v, Unknown) for v in seq):
+                        first = next(v for v in seq
+                                     if isinstance(v, Unknown))
+                        return Unknown(first.origin)
+                    return all(map(_truthy, seq)) if name == "all" \
+                        else any(map(_truthy, seq))
+                return unknown
+            if name in ("min", "max", "sum", "abs", "int", "float", "str",
+                        "bool", "round"):
+                flat = args[0] if len(args) == 1 and isinstance(
+                    args[0], (list, tuple)
+                ) else args
+                if all(_is_concrete(v) for v in flat) and not kwargs:
+                    import builtins
+
+                    return getattr(builtins, name)(*args)
+                return unknown
+            if name == "zip":
+                if all(isinstance(a, (list, tuple, range)) for a in args):
+                    return [tuple(group) for group in zip(*args)]
+                return unknown
+            if name == "print":
+                return None
+            if name == "isinstance":
+                return unknown
+        except (TypeError, ValueError, KeyError, IndexError, StopIteration):
+            return unknown
+        return _NOT_PRIMITIVE
+
+
+_NOT_PRIMITIVE = object()
+
+
+# ----------------------------------------------------------------------
+# Small helpers
+# ----------------------------------------------------------------------
+def _is_concrete(value: object) -> bool:
+    if isinstance(value, (Unknown, Sym, TagPrefix, ApproxList, ObjVal,
+                          TicketVal, HandleVal)):
+        return False
+    if isinstance(value, tuple) and value and value[0] in ("ref", "bound"):
+        return False
+    if isinstance(value, (list, tuple, set)):
+        return all(_is_concrete(v) for v in value)
+    if isinstance(value, dict):
+        return all(_is_concrete(k) for k in value)
+    return True
+
+
+def _truthy(value: object) -> bool:
+    try:
+        return bool(value)
+    except (TypeError, ValueError):  # pragma: no cover - exotic values
+        return True
+
+
+def _apply_binop(op: ast.operator, left, right, fallback):
+    import operator as _op
+
+    table = {
+        ast.Add: _op.add, ast.Sub: _op.sub, ast.Mult: _op.mul,
+        ast.Div: _op.truediv, ast.FloorDiv: _op.floordiv, ast.Mod: _op.mod,
+        ast.Pow: _op.pow, ast.BitOr: _op.or_, ast.BitAnd: _op.and_,
+        ast.BitXor: _op.xor, ast.LShift: _op.lshift, ast.RShift: _op.rshift,
+    }
+    fn = table.get(type(op))
+    if fn is None:
+        return fallback
+    try:
+        return fn(left, right)
+    except (TypeError, ValueError, ZeroDivisionError, OverflowError):
+        return fallback
+
+
+def _apply_compare(op: ast.cmpop, left, right):
+    import operator as _op
+
+    table = {
+        ast.Eq: _op.eq, ast.NotEq: _op.ne, ast.Lt: _op.lt, ast.LtE: _op.le,
+        ast.Gt: _op.gt, ast.GtE: _op.ge,
+    }
+    if isinstance(op, (ast.Is, ast.IsNot)):
+        if left is None or right is None or isinstance(
+            left, (bool, int, str)
+        ) or isinstance(right, (bool, int, str)):
+            same = left is right or (left == right and left is not None)
+            return same if isinstance(op, ast.Is) else not same
+        return Unknown("is")
+    if isinstance(op, (ast.In, ast.NotIn)):
+        try:
+            hit = left in right
+        except TypeError:
+            return Unknown("in")
+        return hit if isinstance(op, ast.In) else not hit
+    fn = table.get(type(op))
+    if fn is None:
+        return Unknown("cmp")
+    try:
+        return fn(left, right)
+    except TypeError:
+        return Unknown("cmp")
+
+
+def _iteration_items(iterable: object, origin: str) -> List[object]:
+    if isinstance(iterable, (list, tuple)):
+        return list(iterable)[:_LOOP_UNROLL_CAP]
+    if isinstance(iterable, range):
+        return list(iterable)[:_LOOP_UNROLL_CAP]
+    if isinstance(iterable, dict):
+        return list(iterable.keys())[:_LOOP_UNROLL_CAP]
+    if isinstance(iterable, set):
+        return sorted(iterable, key=repr)[:_LOOP_UNROLL_CAP]
+    if isinstance(iterable, ApproxList):
+        return list(iterable.samples)[:_LOOP_UNROLL_CAP]
+    # Unknown iterable: one representative iteration.
+    return [Unknown(origin)]
+
+
+def _block_escapes(stmts: Sequence[ast.stmt]) -> bool:
+    return any(
+        isinstance(s, (ast.Return, ast.Raise, ast.Break, ast.Continue))
+        for s in stmts
+    )
+
+
+def _arg_expr(node: ast.Call, kw_name: str, position: int) -> str:
+    for kw in node.keywords:
+        if kw.arg == kw_name:
+            return ast.unparse(kw.value)
+    args = [a for a in node.args if not isinstance(a, ast.Starred)]
+    if position == -1 and args:
+        return ast.unparse(args[-1])
+    if 0 <= position < len(args):
+        return ast.unparse(args[position])
+    return ""

@@ -443,6 +443,7 @@ class _RankLoop:
         # Drain this epoch's boundary gradients — peers posted them
         # top-down, so completing the handles in posting order matches
         # the channel order — and stash them for next epoch's delivery.
+        lock_sanitizer.schedule_checkpoint("pipelined-drain")
         self._stale_grad_in = []
         for k, handle in enumerate(bwd_handles):
             layer_idx = self.num_layers - 1 - k
@@ -475,6 +476,9 @@ def _run_rank_epochs(ep: Endpoint, task: _RankTask) -> _RankOutcome:
         by_tag=[], pairwise=[], grad_flat=np.zeros(0), state={},
     )
     for _epoch in range(task.epochs):
+        # A jitter point per epoch under REPRO_SANITIZE=schedule, so
+        # different seeds stagger the ranks' epoch boundaries.
+        lock_sanitizer.schedule_checkpoint("epoch-start")
         ep.meter.reset()
         loop.model.train()
         blocked0 = ep.blocked_seconds

@@ -77,7 +77,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.sanitizer import make_lock, wrap_protocol
+from ..analysis.sanitizer import (
+    begin_schedule_exploration,
+    end_schedule_exploration,
+    make_lock,
+    schedule_note_complete,
+    schedule_note_post,
+    schedule_wait_scope,
+    wrap_protocol,
+)
 from ..tensor.dtype import float_dtype_for_nbytes, resolve_dtype, scalar_nbytes
 
 __all__ = [
@@ -422,7 +430,9 @@ class Endpoint:
         receive window (peer not draining — a hang the old bare
         ``thread.join(timeout)`` silently swallowed) or a failed push
         raises :class:`TransportError` instead of being abandoned."""
-        if not ticket.join(self.recv_timeout):
+        with schedule_wait_scope("join", self.rank, ticket.dst):
+            delivered = ticket.join(self.recv_timeout)
+        if not delivered:
             raise TransportError(
                 f"rank {self.rank} send (tag {ticket.tag!r}) to rank "
                 f"{ticket.dst} still in flight after {self.recv_timeout}s "
@@ -552,6 +562,7 @@ class Endpoint:
         handle.sends = [
             self.isend(dst, payload, tag) for dst, payload in outgoing.items()
         ]
+        schedule_note_post(self.rank, handle)
         return handle
 
     def complete_exchange(self, handle: ExchangeHandle) -> Dict[int, np.ndarray]:
@@ -567,6 +578,7 @@ class Endpoint:
                 f"(tag {handle.tag!r}) twice"
             )
         handle.completed = True
+        schedule_note_complete(self.rank, handle)
         received = {src: self.recv(src, handle.tag) for src in handle.expect}
         for ticket in handle.sends:
             self._join_send(ticket)
@@ -708,8 +720,14 @@ class LocalTransport(Transport):
         payloads = list(payloads) if payloads is not None else [None] * m
         if len(payloads) != m:
             raise ValueError(f"expected {m} payloads, got {len(payloads)}")
+        # Under REPRO_SANITIZE=schedule the wires become the explorer's
+        # rendezvous channels and the launch gains deadlock detection
+        # plus seed-driven interleaving jitter; otherwise plain queues.
+        explorer = begin_schedule_exploration(m)
         queues = {
-            (i, j): queue.Queue() for i in range(m) for j in range(m) if i != j
+            (i, j): (explorer.make_channel(i, j) if explorer is not None
+                     else queue.Queue())
+            for i in range(m) for j in range(m) if i != j
         }
         # Per-recv windows stay at the transport's recv_timeout — the
         # bound within which a dropped peer must surface as a
@@ -725,14 +743,23 @@ class LocalTransport(Transport):
 
         def run(rank: int) -> None:
             try:
+                if explorer is not None:
+                    explorer.rank_started(rank)
                 # Identity unless REPRO_SANITIZE=protocol is on, in
                 # which case the endpoint enforces its typestate table.
                 results[rank] = worker(
                     wrap_protocol(endpoints[rank]), payloads[rank]
                 )
+                if explorer is not None:
+                    # Leaked posted-exchange handles surface here, at
+                    # the rank boundary, as this rank's failure.
+                    explorer.rank_completed(rank)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 failures.append((rank, exc, traceback.format_exc()))
                 failed.set()
+            finally:
+                if explorer is not None:
+                    explorer.rank_finished(rank)
 
         threads = [
             threading.Thread(target=run, args=(i,), daemon=True) for i in range(m)
@@ -761,6 +788,7 @@ class LocalTransport(Transport):
         finally:
             for ep in endpoints:
                 ep.close()
+            end_schedule_exploration(explorer)
         for ep in endpoints:
             self.meter.merge(ep.meter)
         return results

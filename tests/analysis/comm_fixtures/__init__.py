@@ -1,0 +1,8 @@
+"""Seeded cross-rank-communication violation fixtures.
+
+Each module here is BOTH a static lint target (the ``comm-entry``
+markers declare its workers as entry points for the comm passes) and a
+runnable ``LocalTransport.launch`` worker (so the same bug is caught a
+second time, dynamically, under ``REPRO_SANITIZE=schedule``).  The
+``clean_twins`` module holds the matched negative controls.
+"""
